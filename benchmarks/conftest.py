@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures via the
+runners in ``repro.experiments`` and prints the resulting table, so a
+``pytest benchmarks/ --benchmark-only -s`` run reproduces the entire
+evaluation section.  Runners execute once per benchmark (pedantic mode)
+— they are experiments, not microbenchmarks; the separate
+``test_kernels.py`` module times the hot kernels statistically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def eval_config() -> ExperimentConfig:
+    """The evaluation operating point for all figure benchmarks.
+
+    192x192 frames keep the whole suite at laptop scale; per-pixel
+    statistics (and therefore every reported shape) are stable in frame
+    size by construction of the scene generator.
+    """
+    return ExperimentConfig(height=192, width=192, n_frames=2)
+
+
+def run_once(benchmark, runner, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(runner, args=args, kwargs=kwargs, rounds=1, iterations=1)

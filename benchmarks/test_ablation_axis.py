@@ -1,0 +1,19 @@
+"""Ablation — optimization-axis choice (B only / R only / G only / best-of-RB)."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_axis_ablation
+
+
+def test_ablation_axis(benchmark, eval_config):
+    result = run_once(benchmark, run_axis_ablation, eval_config)
+    print("\n[Ablation] optimization axis")
+    print(result.table())
+
+    bpp = result.bpp_by_variant
+    # Best-of-RB dominates by construction (per-tile argmin); blue-only
+    # can tie it to within rounding since Blue wins almost every tile.
+    assert result.best_variant() in ("best-of-RB", "blue-only")
+    assert bpp["best-of-RB"] <= bpp["blue-only"] + 1e-9
+    assert bpp["red-only"] > bpp["blue-only"]     # B beats R overall
+    assert bpp["green-only"] > bpp["red-only"]    # G has least wiggle room

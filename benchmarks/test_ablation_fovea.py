@@ -1,0 +1,14 @@
+"""Ablation — foveal bypass radius (0 to 20 degrees)."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_fovea_ablation
+
+
+def test_ablation_fovea(benchmark, eval_config):
+    result = run_once(benchmark, run_fovea_ablation, eval_config)
+    print("\n[Ablation] foveal bypass radius")
+    print(result.table())
+
+    bpp = result.bpp_by_variant
+    assert bpp["0 deg"] <= bpp["5 deg"] <= bpp["10 deg"] <= bpp["20 deg"]

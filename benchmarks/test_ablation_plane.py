@@ -1,0 +1,15 @@
+"""Ablation — case-2 common-plane placement (mid vs HL vs LH)."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_plane_ablation
+
+
+def test_ablation_plane(benchmark, eval_config):
+    result = run_once(benchmark, run_plane_ablation, eval_config)
+    print("\n[Ablation] case-2 plane placement")
+    print(result.table())
+
+    values = result.bpp_by_variant
+    # All placements collapse the optimized channel; costs stay close.
+    assert max(values.values()) - min(values.values()) < 1.0

@@ -1,0 +1,24 @@
+"""Extension — compression gain from dark adaptation (paper Sec. 7).
+
+The paper conjectures dark adaptation "will likely weaken the color
+discrimination even more, potentially further improving the
+compression rate".  We measure it: thresholds inflated by the
+dark-adaptation model compress dark scenes further, with a much
+smaller effect on bright scenes.
+"""
+
+from conftest import run_once
+
+from repro.experiments.extensions import run_dark_adaptation
+
+
+def test_ext_dark_adaptation(benchmark, eval_config):
+    result = run_once(benchmark, run_dark_adaptation, eval_config)
+    print("\n[Extension] dark adaptation sweep")
+    print(result.table())
+
+    assert result.dark_scene_gain() > 0.0
+    assert result.dark_scene_gain() > result.bright_scene_gain()
+    # bpp decreases monotonically with adaptation on dark scenes.
+    values = [result.bpp_dark_scenes[s] for s in result.states]
+    assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))

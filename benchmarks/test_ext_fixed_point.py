@@ -1,0 +1,57 @@
+"""Extension — fixed-point precision sweep of the CAU datapath.
+
+How many fractional bits does an RTL implementation of the adjustment
+need?  Sweeps the quantized datapath against the float reference and
+reports display-code error and strict-ellipsoid (Mahalanobis)
+violation per precision.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.color.srgb import encode_srgb8
+from repro.core.adjust import adjust_tiles
+from repro.hardware.datapath import FixedPointSpec, adjust_tiles_fixed_point
+from repro.perception.geometry import mahalanobis
+from repro.perception.model import ParametricModel
+
+FRAC_BITS = (8, 10, 12, 16, 20)
+
+
+def _sweep():
+    rng = np.random.default_rng(0)
+    model = ParametricModel()
+    tiles = rng.uniform(0.2, 0.8, (400, 16, 3))
+    axes = model.semi_axes(tiles, np.full((400, 16), 25.0))
+    reference = adjust_tiles(tiles, axes, 2)
+    reference_codes = encode_srgb8(reference.adjusted)
+    rows = []
+    for frac_bits in FRAC_BITS:
+        fixed = adjust_tiles_fixed_point(
+            tiles, axes, 2, FixedPointSpec(frac_bits=frac_bits)
+        )
+        code_error = int(
+            np.abs(
+                encode_srgb8(fixed.adjusted).astype(int) - reference_codes.astype(int)
+            ).max()
+        )
+        violation = float(mahalanobis(fixed.adjusted, tiles, axes).max())
+        rows.append((frac_bits, code_error, violation))
+    return rows
+
+
+def test_ext_fixed_point(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print("\n[Extension] fixed-point datapath precision sweep")
+    print(f"{'frac bits':>9} {'max code err':>13} {'max Mahalanobis':>16}")
+    for frac_bits, code_error, violation in rows:
+        print(f"{frac_bits:>9} {code_error:>13} {violation:>16.3f}")
+
+    by_bits = {r[0]: r for r in rows}
+    # Display-precision behaviour: within one code by 12 bits, exact by 20.
+    assert by_bits[12][1] <= 1
+    assert by_bits[20][1] == 0
+    # Strict ellipsoid arithmetic needs the full 20 bits (near-singular
+    # DKL geometry; see repro/hardware/datapath.py).
+    assert by_bits[20][2] < 1.1
+    assert by_bits[8][2] > by_bits[16][2] > by_bits[20][2]

@@ -1,0 +1,20 @@
+"""Extension — foveated rendering vs (and with) color adjustment.
+
+Quantifies the paper's Sec. 7 orthogonality claim: foveation trades
+visible peripheral blur for large traffic savings; our color
+adjustment is invisible, saves less, and still composes on top.
+"""
+
+from conftest import run_once
+
+from repro.experiments.quality import run_foveation_comparison
+
+
+def test_ext_foveation(benchmark, eval_config):
+    result = run_once(benchmark, run_foveation_comparison, eval_config)
+    print("\n[Extension] foveation comparison")
+    print(result.table())
+
+    bpp = result.bpp
+    assert bpp["foveated"] < bpp["ours"] < bpp["BD"]
+    assert bpp["foveated+ours"] < bpp["foveated"]

@@ -1,0 +1,32 @@
+"""Extension — SoC dataflow validation of the Sec. 4.2 sizing argument.
+
+Simulates the GPU -> Pending Buffer -> CAU path at tile granularity:
+the paper's 96-PE / double-buffer design neither stalls the GPU nor
+starves the CAU at full GPU utilization, and halving the PE count
+breaks that property.
+"""
+
+from conftest import run_once
+
+from repro.hardware.cau import CAUConfig
+from repro.hardware.pipeline_sim import PipelineConfig, simulate_frame
+
+QUEST2_HIGH_TILES = 1352 * 684
+
+
+def test_ext_pipeline_sizing(benchmark):
+    stats = run_once(benchmark, simulate_frame, QUEST2_HIGH_TILES)
+    print("\n[Extension] GPU->CAU dataflow at 5408x2736, 96 PEs")
+    print(f"cycles={stats.total_cycles} stalls={stats.gpu_stall_cycles} "
+          f"idle={stats.cau_idle_cycles} peak_buffer={stats.peak_buffer_occupancy} "
+          f"utilization={stats.cau_utilization:.3f}")
+
+    assert not stats.gpu_stalled
+    assert stats.cau_idle_cycles == 0
+    assert stats.peak_buffer_occupancy <= 192
+
+    undersized = simulate_frame(
+        50_000, PipelineConfig(cau=CAUConfig(n_pes=48))
+    )
+    print(f"undersized (48 PEs): stalls={undersized.gpu_stall_cycles}")
+    assert undersized.gpu_stalled

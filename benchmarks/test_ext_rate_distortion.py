@@ -1,0 +1,23 @@
+"""Extension — rate-distortion frontier of the ellipsoid scale.
+
+Sweeps a global scale on the discrimination ellipsoids (the per-user
+calibration knob) and traces bpp vs PSNR vs visibility, showing the
+paper's default operating point sits at the edge of invisibility.
+"""
+
+from conftest import run_once
+
+from repro.experiments.quality import RD_SCALES, run_rate_distortion
+
+
+def test_ext_rate_distortion(benchmark, eval_config):
+    result = run_once(benchmark, run_rate_distortion, eval_config)
+    print("\n[Extension] rate-distortion sweep of the ellipsoid scale")
+    print(result.table())
+
+    bpp = [result.bpp[s] for s in RD_SCALES]
+    quality = [result.psnr_db[s] for s in RD_SCALES]
+    visibility = [result.exceedance[s] for s in RD_SCALES]
+    assert all(b <= a + 1e-9 for a, b in zip(bpp, bpp[1:]))
+    assert all(b <= a + 0.5 for a, b in zip(quality, quality[1:]))
+    assert all(b >= a for a, b in zip(visibility, visibility[1:]))

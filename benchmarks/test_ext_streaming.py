@@ -1,0 +1,19 @@
+"""Extension — remote-rendering streaming (paper Sec. 2.2).
+
+Per-frame wireless streaming with raw / BD / perceptual encoders: the
+perceptual stage raises the sustainable frame rate on every link, most
+valuably on constrained ones.
+"""
+
+from conftest import run_once
+
+from repro.experiments.extensions import run_streaming
+
+
+def test_ext_streaming(benchmark, eval_config):
+    result = run_once(benchmark, run_streaming, eval_config)
+    print("\n[Extension] sustainable FPS by link and encoder")
+    print(result.table())
+
+    for link, by_encoder in result.fps.items():
+        assert by_encoder["perceptual"] > by_encoder["bd"] > by_encoder["raw"], link

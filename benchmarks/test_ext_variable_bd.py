@@ -1,0 +1,25 @@
+"""Extension — variable-width BD (paper footnote 1).
+
+Measures the paper's deliberately excluded variant: per-group delta
+widths inside a tile.  On the evaluation scenes the extra width fields
+cost more than the localized widths save — evidence for the paper's
+choice of a single width per tile.
+"""
+
+from conftest import run_once
+
+from repro.experiments.extensions import run_variable_bd
+
+
+def test_ext_variable_bd(benchmark, eval_config):
+    result = run_once(benchmark, run_variable_bd, eval_config)
+    print("\n[Extension] fixed vs variable-width BD")
+    print(result.table())
+
+    bpp = result.bpp
+    # Perceptual adjustment helps under either width scheme.
+    assert bpp["ours fixed"] < bpp["BD fixed"]
+    assert bpp["ours variable"] < bpp["BD variable"]
+    # The variants stay within ~15% of each other: the width-field
+    # overhead and the localized-width savings nearly cancel.
+    assert abs(bpp["BD variable"] - bpp["BD fixed"]) / bpp["BD fixed"] < 0.15

@@ -1,0 +1,18 @@
+"""Fig. 2 — discrimination ellipsoid fields at 5 vs 25 degrees."""
+
+from conftest import run_once
+
+from repro.experiments import fig02_ellipsoids
+
+
+def test_fig02_ellipsoids(benchmark, eval_config):
+    atlas = run_once(benchmark, fig02_ellipsoids.run, eval_config)
+    print("\n[Fig. 2] ellipsoid atlas")
+    print(atlas.table())
+
+    growth = atlas.volume_growth()
+    assert (growth > 1.5).all()          # periphery clearly larger
+    h5 = atlas.mean_halfwidths(5.0)
+    h25 = atlas.mean_halfwidths(25.0)
+    assert (h25 > h5).all()
+    assert h25[2] > h25[0] > h25[1]      # B > R > G anisotropy

@@ -1,0 +1,24 @@
+"""Fig. 10 — bandwidth reduction over NoCom/SCC/BD/PNG, per scene.
+
+Paper reference points: ours saves 66.9% vs NoCom, 50.3% vs SCC, 15.6%
+mean / 20.4% max vs BD; PNG out-compresses ours on two scenes.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig10_bandwidth
+
+
+def test_fig10_bandwidth(benchmark, eval_config):
+    result = run_once(benchmark, fig10_bandwidth.run, eval_config)
+    print("\n[Fig. 10] bandwidth reduction vs baselines")
+    print(result.table())
+
+    # Shape assertions mirroring the paper's claims.
+    for scene in result.scenes:
+        assert scene.bpp["Ours"] < scene.bpp["BD"], scene.scene
+        assert scene.bpp["Ours"] < scene.bpp["SCC"] < scene.bpp["NoCom"], scene.scene
+    assert 0.55 < result.mean_reduction_vs("NoCom") < 0.80
+    assert 0.08 < result.mean_reduction_vs("BD") < 0.30
+    assert result.max_reduction_vs("BD") < 0.35
+    assert 1 <= result.png_wins() <= 3

@@ -1,0 +1,22 @@
+"""Fig. 11 — bits/pixel decomposition (base, metadata, deltas).
+
+Paper reference: all savings come from the delta component; base and
+metadata costs are identical between BD and the proposed scheme.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig11_bits
+
+
+def test_fig11_bits_per_pixel(benchmark, eval_config):
+    result = run_once(benchmark, fig11_bits.run, eval_config)
+    print("\n[Fig. 11] bits per pixel: base / metadata / deltas")
+    print(result.table())
+
+    for scene in result.scenes:
+        assert scene.delta_saving_bpp > 0, scene.scene
+        assert scene.bd["base"] == scene.ours["base"]
+        assert scene.bd["metadata"] == scene.ours["metadata"]
+        # Deltas dominate both encodings, as the paper's bars show.
+        assert scene.bd["deltas"] > scene.bd["base"]

@@ -1,0 +1,19 @@
+"""Fig. 12 — distribution of adjustment cases c1/c2 per scene.
+
+Paper reference: case 2 (a common plane exists, the channel collapses
+to zero deltas) covers 78.92% of tiles on average.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig12_cases
+
+
+def test_fig12_case_distribution(benchmark, eval_config):
+    result = run_once(benchmark, fig12_cases.run, eval_config)
+    print("\n[Fig. 12] case distribution")
+    print(result.table())
+
+    assert 0.6 < result.mean_case2 < 0.98
+    for scene in result.scenes:
+        assert scene.case2_fraction > 0.5, scene.scene

@@ -1,0 +1,25 @@
+"""Fig. 14 — simulated user study: who notices artifacts, per scene.
+
+Paper reference: on average 2.8 of 11 participants noticed artifacts
+(std 1.5); nobody noticed any in fortnite; the dark scenes fared worst.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig14_study
+
+
+def test_fig14_user_study(benchmark, eval_config):
+    result = run_once(benchmark, fig14_study.run, eval_config)
+    print("\n[Fig. 14] participants not noticing artifacts")
+    print(result.table())
+
+    study = result.study
+    assert 0.5 < study.mean_noticing < 6.0
+    by_scene = study.by_scene()
+    # The bright green scene is the safest; a dark scene is the worst.
+    fortnite_noticing = 11 - by_scene["fortnite"].not_noticing
+    dark_noticing = max(
+        11 - by_scene["dumbo"].not_noticing, 11 - by_scene["monkey"].not_noticing
+    )
+    assert fortnite_noticing <= dark_noticing

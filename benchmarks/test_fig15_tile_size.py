@@ -1,0 +1,25 @@
+"""Fig. 15 — tile-size sensitivity sweep (T4..T16).
+
+Paper reference: the reduction peaks at 4x4 and falls below plain 4x4
+BD once tiles grow beyond 8x8.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig15_tilesize
+
+
+def test_fig15_tile_size(benchmark, eval_config):
+    result = run_once(benchmark, fig15_tilesize.run, eval_config)
+    print("\n[Fig. 15] bandwidth reduction vs tile size")
+    print(result.table())
+
+    for scene in result.bd_reduction:
+        assert result.best_tile_size(scene) <= 6, scene
+        # Large tiles always do worse than the 4x4 sweet spot.
+        assert (
+            result.ours_reduction[scene][16] < result.ours_reduction[scene][4]
+        ), scene
+    # Somewhere in the sweep, at least one scene crosses below BD.
+    crossovers = [result.crossover_tile_sizes(s) for s in result.bd_reduction]
+    assert any(len(c) > 0 for c in crossovers)

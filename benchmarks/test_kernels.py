@@ -1,0 +1,88 @@
+"""Microbenchmarks of the hot kernels (statistical timing).
+
+Unlike the figure benchmarks (which run an experiment once), these use
+pytest-benchmark's default repeated sampling to characterize the
+per-call cost of the building blocks: extrema computation, tile
+adjustment, BD accounting, the full frame pipeline, and the bitstream
+codec.  They are the numbers to watch when optimizing the library.
+"""
+
+import numpy as np
+import pytest
+
+from repro.color.srgb import encode_srgb8
+from repro.core.adjust import adjust_tiles
+from repro.core.optimizer import optimize_tiles
+from repro.core.pipeline import PerceptualEncoder
+from repro.encoding.bd import BDCodec, bd_breakdown
+from repro.perception.geometry import channel_extrema
+from repro.perception.model import ParametricModel
+from repro.scenes.display import QUEST2_DISPLAY
+from repro.scenes.library import render_scene
+
+N_TILES = 4096  # one megapixel-quarter of 4x4 tiles
+
+
+@pytest.fixture(scope="module")
+def tile_stack():
+    rng = np.random.default_rng(0)
+    model = ParametricModel()
+    tiles = rng.uniform(0.2, 0.8, (N_TILES, 16, 3))
+    axes = model.semi_axes(tiles, np.full((N_TILES, 16), 25.0))
+    return tiles, axes
+
+
+@pytest.fixture(scope="module")
+def scene_frame():
+    frame = render_scene("office", 192, 192, eye="left")
+    ecc = QUEST2_DISPLAY.eccentricity_map(192, 192)
+    return frame, ecc
+
+
+def test_kernel_channel_extrema(benchmark, tile_stack):
+    tiles, axes = tile_stack
+    result = benchmark(channel_extrema, tiles, axes, 2)
+    assert result.high.shape == tiles.shape
+
+
+def test_kernel_adjust_tiles(benchmark, tile_stack):
+    tiles, axes = tile_stack
+    result = benchmark(adjust_tiles, tiles, axes, 2)
+    assert result.adjusted.shape == tiles.shape
+
+
+def test_kernel_optimize_tiles(benchmark, tile_stack):
+    tiles, axes = tile_stack
+    result = benchmark(optimize_tiles, tiles, axes)
+    assert result.bits.shape == (N_TILES,)
+
+
+def test_kernel_bd_accounting(benchmark, tile_stack):
+    tiles, _ = tile_stack
+    srgb = encode_srgb8(tiles)
+    breakdown = benchmark(bd_breakdown, srgb)
+    assert breakdown.total_bits > 0
+
+
+def test_kernel_full_frame_encode(benchmark, scene_frame):
+    frame, ecc = scene_frame
+    encoder = PerceptualEncoder()
+    result = benchmark(encoder.encode_frame, frame, ecc)
+    assert result.bandwidth_reduction_vs_bd > 0
+
+
+def test_kernel_scene_render(benchmark):
+    frame = benchmark(render_scene, "thai", 192, 192)
+    assert frame.shape == (192, 192, 3)
+
+
+def test_kernel_bd_bitstream_roundtrip(benchmark):
+    rng = np.random.default_rng(1)
+    frame = rng.integers(0, 256, (48, 48, 3), dtype=np.uint8)
+    codec = BDCodec(tile_size=4)
+
+    def round_trip():
+        return codec.decode(codec.encode(frame))
+
+    decoded = benchmark(round_trip)
+    assert np.array_equal(decoded, frame)

@@ -1,0 +1,17 @@
+"""Sec. 6.1 — CAU latency, area and power vs the paper's constants."""
+
+from conftest import run_once
+
+from repro.experiments import sec61_hardware
+
+
+def test_sec61_hardware(benchmark):
+    result = run_once(benchmark, sec61_hardware.run)
+    print("\n[Sec. 6.1] CAU hardware model")
+    print(result.table())
+
+    assert result.n_pes_derived == 96
+    assert abs(result.latency_us_high_res - 173.4) < 0.5
+    assert abs(result.pe_array_area_mm2 - 2.1) < 0.05
+    assert abs(result.cau_power_uw - 201.6) < 0.1
+    assert result.latency_fraction_of_72fps_budget < 0.02

@@ -1,0 +1,21 @@
+"""Sec. 6.3 — objective PSNR of the adjusted frames.
+
+Paper reference: mean 46.0 dB with a large std; most scenes in the
+"visible artifacts" range on a desktop, yet subjectively clean in the
+headset — subjective quality is not objective quality.
+"""
+
+from conftest import run_once
+
+from repro.experiments import sec63_psnr
+
+
+def test_sec63_psnr(benchmark, eval_config):
+    result = run_once(benchmark, sec63_psnr.run, eval_config)
+    print("\n[Sec. 6.3] PSNR of adjusted frames")
+    print(result.table())
+
+    stats = result.summary()
+    assert 35.0 < stats.mean < 55.0   # numerically lossy, finite
+    for scene in result.scenes:
+        assert scene.psnr_db < 60.0, scene.scene  # genuinely lossy everywhere

@@ -1,0 +1,45 @@
+"""repro — perceptual color-discrimination image encoding for VR.
+
+A full reproduction of "Exploiting Human Color Discrimination for
+Memory- and Energy-Efficient Image Encoding in Virtual Reality"
+(ASPLOS 2024): the eccentricity-dependent discrimination model, the
+analytical per-tile color adjustment, the Base+Delta substrate it
+feeds, the comparison baselines, the hardware/energy models, procedural
+evaluation scenes, and a simulated user study.
+
+Quick start::
+
+    import numpy as np
+    from repro import PerceptualEncoder, QUEST2_DISPLAY, render_scene
+
+    frame = render_scene("fortnite", 256, 256)           # linear RGB
+    ecc = QUEST2_DISPLAY.eccentricity_map(256, 256)       # centered gaze
+    result = PerceptualEncoder().encode_frame(frame, ecc)
+    print(result.breakdown.bits_per_pixel,
+          result.bandwidth_reduction_vs_bd)
+"""
+
+from .core.pipeline import DEFAULT_FOVEAL_RADIUS_DEG, FrameResult, PerceptualEncoder
+from .encoding.bd import BDCodec
+from .perception.model import ParametricModel, RBFModel, ScaledModel, default_model
+from .scenes.display import QUEST2_DISPLAY, DisplayGeometry
+from .scenes.library import SCENE_NAMES, get_scene, render_scene
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_FOVEAL_RADIUS_DEG",
+    "FrameResult",
+    "PerceptualEncoder",
+    "BDCodec",
+    "ParametricModel",
+    "RBFModel",
+    "ScaledModel",
+    "default_model",
+    "QUEST2_DISPLAY",
+    "DisplayGeometry",
+    "SCENE_NAMES",
+    "get_scene",
+    "render_scene",
+    "__version__",
+]

@@ -1,0 +1,45 @@
+"""Comparison baselines: NoCom, BD, PNG-class lossless, SCC, and the
+foveated-resolution comparator of the paper's Sec. 7."""
+
+from .foveated import FoveationConfig, foveate_frame, foveated_bd_bits
+
+from .png_codec import (
+    FILTER_NAMES,
+    PNGEncoded,
+    png_compressed_bits,
+    png_decode,
+    png_encode,
+    png_filter_rows,
+    png_unfilter_rows,
+)
+from .registry import BASELINE_NAMES, baseline_bits, bd_bits, nocom_bits, scc_bits
+from .scc import (
+    DEFAULT_SCC_ECCENTRICITY,
+    SCCTable,
+    greedy_set_cover,
+    grid_cover,
+    scc_bits_per_pixel,
+)
+
+__all__ = [
+    "FoveationConfig",
+    "foveate_frame",
+    "foveated_bd_bits",
+    "FILTER_NAMES",
+    "PNGEncoded",
+    "png_compressed_bits",
+    "png_decode",
+    "png_encode",
+    "png_filter_rows",
+    "png_unfilter_rows",
+    "BASELINE_NAMES",
+    "baseline_bits",
+    "bd_bits",
+    "nocom_bits",
+    "scc_bits",
+    "DEFAULT_SCC_ECCENTRICITY",
+    "SCCTable",
+    "greedy_set_cover",
+    "grid_cover",
+    "scc_bits_per_pixel",
+]

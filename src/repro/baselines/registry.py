@@ -1,0 +1,67 @@
+"""Uniform frame-size accounting across all baselines (paper Sec. 5.3).
+
+Every baseline reduces to "how many bits does this frame cost":
+
+* **NoCom** — raw sRGB, 24 bits/pixel;
+* **BD** — Base+Delta on the unmodified frame;
+* **PNG** — lossless filter+DEFLATE coding;
+* **SCC** — constant index width from the set-cover table.
+
+:func:`baseline_bits` dispatches by name so experiments can sweep the
+whole roster with one loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..encoding.accounting import UNCOMPRESSED_BPP
+from ..encoding.bd import bd_breakdown
+from ..encoding.tiling import tile_frame
+from .png_codec import png_compressed_bits
+from .scc import DEFAULT_SCC_ECCENTRICITY, scc_bits_per_pixel
+
+__all__ = ["BASELINE_NAMES", "baseline_bits", "nocom_bits", "bd_bits", "scc_bits"]
+
+#: Baseline roster in the paper's plotting order.
+BASELINE_NAMES = ("NoCom", "SCC", "BD", "PNG")
+
+
+def _pixel_count(frame: np.ndarray) -> int:
+    if frame.ndim != 3 or frame.shape[2] != 3:
+        raise ValueError(f"frame must be (H, W, 3), got {frame.shape}")
+    return frame.shape[0] * frame.shape[1]
+
+
+def nocom_bits(frame_srgb8: np.ndarray) -> int:
+    """Uncompressed framebuffer cost: 24 bits per pixel."""
+    return int(UNCOMPRESSED_BPP) * _pixel_count(frame_srgb8)
+
+
+def bd_bits(frame_srgb8: np.ndarray, tile_size: int = 4) -> int:
+    """Base+Delta cost of the frame as-is."""
+    tiles, grid = tile_frame(frame_srgb8, tile_size)
+    return bd_breakdown(tiles, n_pixels=grid.height * grid.width).total_bits
+
+
+def scc_bits(
+    frame_srgb8: np.ndarray, eccentricity: float = DEFAULT_SCC_ECCENTRICITY
+) -> int:
+    """SCC cost: constant table-index width times the pixel count."""
+    return scc_bits_per_pixel(eccentricity) * _pixel_count(frame_srgb8)
+
+
+def baseline_bits(name: str, frame_srgb8: np.ndarray, tile_size: int = 4) -> int:
+    """Dispatch a baseline by its Fig. 10 name."""
+    frame = np.asarray(frame_srgb8)
+    if frame.dtype != np.uint8:
+        raise TypeError(f"baselines take uint8 sRGB frames, got dtype {frame.dtype}")
+    if name == "NoCom":
+        return nocom_bits(frame)
+    if name == "BD":
+        return bd_bits(frame, tile_size=tile_size)
+    if name == "PNG":
+        return png_compressed_bits(frame)
+    if name == "SCC":
+        return scc_bits(frame)
+    raise ValueError(f"unknown baseline {name!r}; expected one of {BASELINE_NAMES}")

@@ -1,0 +1,130 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Runs any of the paper-figure or extension experiments from a shell and
+prints its table, so the evaluation is reproducible without writing a
+line of Python.
+
+    python -m repro list
+    python -m repro fig10
+    python -m repro fig13 --height 256 --width 256 --frames 2
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .experiments import (
+    ExperimentConfig,
+    fig02_ellipsoids,
+    fig10_bandwidth,
+    fig11_bits,
+    fig12_cases,
+    fig13_power,
+    fig14_study,
+    fig15_tilesize,
+    sec61_hardware,
+    sec63_psnr,
+)
+from .experiments.ablations import (
+    run_axis_ablation,
+    run_fovea_ablation,
+    run_plane_ablation,
+)
+from .experiments.extensions import (
+    run_dark_adaptation,
+    run_gaze_latency,
+    run_streaming,
+    run_variable_bd,
+)
+from .experiments.quality import (
+    run_flicker,
+    run_foveation_comparison,
+    run_rate_distortion,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: name -> (runner taking a config, description).  The hardware model
+#: runner ignores the config (it has no workload).
+EXPERIMENTS: dict[str, tuple[Callable, str]] = {
+    "fig02": (fig02_ellipsoids.run, "discrimination ellipsoids at 5 vs 25 deg"),
+    "fig10": (fig10_bandwidth.run, "bandwidth reduction vs NoCom/SCC/BD/PNG"),
+    "fig11": (fig11_bits.run, "bits/pixel decomposition"),
+    "fig12": (fig12_cases.run, "case c1/c2 distribution"),
+    "fig13": (fig13_power.run, "power saving over BD"),
+    "fig14": (fig14_study.run, "simulated user study"),
+    "fig15": (fig15_tilesize.run, "tile-size sensitivity"),
+    "sec61": (lambda _config: sec61_hardware.run(), "CAU hardware constants"),
+    "sec63": (sec63_psnr.run, "PSNR of adjusted frames"),
+    "ablation-axis": (run_axis_ablation, "optimization-axis ablation"),
+    "ablation-fovea": (run_fovea_ablation, "foveal-bypass-radius ablation"),
+    "ablation-plane": (run_plane_ablation, "case-2 plane-placement ablation"),
+    "ext-gaze": (run_gaze_latency, "artifact visibility vs gaze error"),
+    "ext-dark": (run_dark_adaptation, "dark-adaptation compression gain"),
+    "ext-varbd": (run_variable_bd, "variable-width BD (footnote 1)"),
+    "ext-streaming": (run_streaming, "remote-rendering link study"),
+    "ext-rd": (run_rate_distortion, "rate-distortion sweep"),
+    "ext-flicker": (run_flicker, "temporal stability"),
+    "ext-foveation": (run_foveation_comparison, "foveation comparison"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the paper's experiments from the command line.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, 'list' to enumerate, or 'all' to run everything",
+    )
+    parser.add_argument("--height", type=int, default=192, help="eval frame height")
+    parser.add_argument("--width", type=int, default=192, help="eval frame width")
+    parser.add_argument("--frames", type=int, default=2, help="animation frames per scene")
+    parser.add_argument("--seed", type=int, default=7, help="master random seed")
+    parser.add_argument(
+        "--model", choices=("parametric", "rbf"), default="parametric",
+        help="discrimination model implementation",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"{name:<{width}}  {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment {unknown[0]!r}; run 'python -m repro list'",
+            file=sys.stderr,
+        )
+        return 2
+
+    config = ExperimentConfig(
+        height=args.height,
+        width=args.width,
+        n_frames=args.frames,
+        seed=args.seed,
+        model_kind=args.model,
+    )
+    for name in names:
+        runner, description = EXPERIMENTS[name]
+        print(f"== {name}: {description}")
+        print(runner(config).table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""RGB <-> DKL color-space transform (paper Eq. 2).
+
+Psychophysical color-discrimination data is expressed in the DKL
+(Derrington-Krauskopf-Lennie) opponent color space, which is a *linear*
+transform away from linear RGB.  The paper publishes the constant matrix
+
+    M_RGB2DKL = [[ 0.14,  0.17,  0.00],
+                 [-0.21, -0.71, -0.07],
+                 [ 0.21,  0.72,  0.07]]
+
+(the same coefficients as Duinkharjav et al. 2022).  The paper's Eq. 2
+prints ``RGB = M @ DKL`` but every downstream use (Eq. 10 builds the
+quadric from ``T`` directly; Eq. 13a converts an RGB-space vector to DKL
+by left-multiplying with ``M_RGB2DKL``; Eq. 13c converts back with the
+inverse) requires the direction implied by the *name*:
+
+    DKL = M_RGB2DKL @ RGB            RGB = M_RGB2DKL^{-1} @ DKL
+
+We adopt that convention throughout and note the Eq. 2 typo here once.
+
+The matrix is nearly singular (determinant ~= 9.8e-5) because the G and
+B rows are almost parallel — a property of the underlying cone
+fundamentals — so its inverse has large entries.  All transforms go
+through an explicitly precomputed inverse to keep them bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "RGB_TO_DKL",
+    "DKL_TO_RGB",
+    "rgb_to_dkl",
+    "dkl_to_rgb",
+]
+
+#: Constant linear map from linear RGB to DKL (paper Sec. 2.1).
+RGB_TO_DKL = np.array(
+    [
+        [0.14, 0.17, 0.00],
+        [-0.21, -0.71, -0.07],
+        [0.21, 0.72, 0.07],
+    ],
+    dtype=np.float64,
+)
+
+#: Precomputed inverse map from DKL back to linear RGB.
+DKL_TO_RGB = np.linalg.inv(RGB_TO_DKL)
+
+
+def _transform(colors, matrix: np.ndarray, name: str) -> np.ndarray:
+    """Apply a 3x3 linear map to an array of 3-vectors (last axis = 3)."""
+    arr = np.asarray(colors, dtype=np.float64)
+    if arr.shape[-1] != 3:
+        raise ValueError(f"{name} expects last axis of size 3, got shape {arr.shape}")
+    return arr @ matrix.T
+
+
+def rgb_to_dkl(rgb) -> np.ndarray:
+    """Convert linear-RGB colors to DKL.
+
+    Accepts any array whose last axis has size 3; the transform is applied
+    per 3-vector.  Input is *linear* RGB (no gamma), per the paper.
+    """
+    return _transform(rgb, RGB_TO_DKL, "rgb_to_dkl")
+
+
+def dkl_to_rgb(dkl) -> np.ndarray:
+    """Convert DKL colors back to linear RGB (inverse of :func:`rgb_to_dkl`)."""
+    return _transform(dkl, DKL_TO_RGB, "dkl_to_rgb")

@@ -1,0 +1,193 @@
+"""Frame-level perceptual encoding pipeline (paper Fig. 7).
+
+Ties the pieces together the way the paper's system does:
+
+    rendered linear-RGB frame + gaze
+      -> per-pixel discrimination ellipsoids (Phi, on the GPU)
+      -> per-tile color adjustment, best of Red/Blue axes (the CAU)
+      -> sRGB quantization
+      -> ordinary Base+Delta compression
+
+Pixels inside the *foveal bypass* radius (the paper keeps the central
+10 degrees untouched, following color-perception-study practice) are
+pinned by giving them near-zero semi-axes; they still participate in
+their tile's HL/LH reduction, so mixed fovea/periphery tiles remain
+correct rather than special-cased.
+
+:class:`PerceptualEncoder` is the main public entry point of the
+library; :class:`FrameResult` carries everything the experiments
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..color.srgb import encode_srgb8
+from ..encoding.accounting import SizeBreakdown
+from ..encoding.bd import bd_breakdown
+from ..encoding.tiling import TileGrid, tile_frame, tile_scalar_field, untile_frame
+from ..perception.geometry import mahalanobis
+from ..perception.law import ParametricEllipsoidLaw
+from ..perception.model import DiscriminationModel, default_model
+from .optimizer import optimize_tiles
+
+__all__ = ["FrameResult", "PerceptualEncoder", "DEFAULT_FOVEAL_RADIUS_DEG"]
+
+#: Radius (deg eccentricity) of the untouched central region, Sec. 5.1.
+DEFAULT_FOVEAL_RADIUS_DEG = 10.0
+
+
+@dataclass(frozen=True)
+class FrameResult:
+    """Everything produced by encoding one frame.
+
+    Attributes
+    ----------
+    adjusted_frame:
+        Perceptually adjusted frame, linear RGB, original size.
+    adjusted_srgb:
+        The adjusted frame quantized to uint8 sRGB (what gets BD
+        encoded and eventually displayed).
+    original_srgb:
+        The unadjusted frame quantized to uint8 sRGB — the baseline BD
+        input.
+    breakdown:
+        BD size accounting for the adjusted frame (ours).
+    baseline_breakdown:
+        BD size accounting for the original frame (the BD baseline).
+    case2_fraction:
+        Fraction of tiles whose winning adjustment found a common plane
+        (paper Fig. 12's ``c2``).
+    axis_fractions:
+        Mapping axis -> fraction of tiles won by that axis.
+    max_mahalanobis:
+        Largest ellipsoid-normalized color shift over all *adjusted*
+        (non-foveal) pixels; the perceptual guarantee is ``<= 1`` up to
+        quantization.
+    grid:
+        Tile geometry used.
+    """
+
+    adjusted_frame: np.ndarray
+    adjusted_srgb: np.ndarray
+    original_srgb: np.ndarray
+    breakdown: SizeBreakdown
+    baseline_breakdown: SizeBreakdown
+    case2_fraction: float
+    axis_fractions: dict[int, float]
+    max_mahalanobis: float
+    grid: TileGrid
+
+    @property
+    def bandwidth_reduction_vs_uncompressed(self) -> float:
+        """Traffic saved vs. raw frames (paper Fig. 10 headline)."""
+        return self.breakdown.reduction_vs_uncompressed()
+
+    @property
+    def bandwidth_reduction_vs_bd(self) -> float:
+        """Traffic saved vs. plain BD on the unadjusted frame."""
+        return self.breakdown.reduction_vs(self.baseline_breakdown)
+
+
+class PerceptualEncoder:
+    """Color-perception-aware pre-encoder in front of Base+Delta.
+
+    Parameters
+    ----------
+    model:
+        Discrimination model ``Phi``; defaults to the library's
+        parametric model (swap in :class:`~repro.perception.RBFModel`
+        for the paper-faithful network, or a calibrated per-user model).
+    tile_size:
+        Square tile edge; 4 matches the paper's hardware.
+    foveal_radius_deg:
+        Eccentricity below which pixels are left untouched.
+    axes:
+        Candidate optimization channels in tie-break order.
+    """
+
+    def __init__(
+        self,
+        model: DiscriminationModel | None = None,
+        tile_size: int = 4,
+        foveal_radius_deg: float = DEFAULT_FOVEAL_RADIUS_DEG,
+        axes: tuple[int, ...] = (2, 0),
+        case2_placement: str = "mid",
+    ):
+        if foveal_radius_deg < 0:
+            raise ValueError(f"foveal_radius_deg must be >= 0, got {foveal_radius_deg}")
+        self.model = model if model is not None else default_model()
+        self.tile_size = tile_size
+        self.foveal_radius_deg = float(foveal_radius_deg)
+        self.axes = axes
+        self.case2_placement = case2_placement
+
+    def encode_frame(self, frame_linear, eccentricity_deg) -> FrameResult:
+        """Adjust one frame and account its Base+Delta size.
+
+        Parameters
+        ----------
+        frame_linear:
+            ``(H, W, 3)`` linear-RGB frame in ``[0, 1]``.
+        eccentricity_deg:
+            ``(H, W)`` per-pixel eccentricity in degrees (from the
+            display geometry and current gaze), or a scalar applied to
+            every pixel.
+        """
+        frame = np.asarray(frame_linear, dtype=np.float64)
+        if frame.ndim != 3 or frame.shape[2] != 3:
+            raise ValueError(f"frame must be (H, W, 3), got {frame.shape}")
+        ecc = np.asarray(eccentricity_deg, dtype=np.float64)
+        if ecc.ndim == 0:
+            ecc = np.full(frame.shape[:2], float(ecc))
+        if ecc.shape != frame.shape[:2]:
+            raise ValueError(
+                f"eccentricity map {ecc.shape} does not match frame {frame.shape[:2]}"
+            )
+
+        tiles, grid = tile_frame(frame, self.tile_size)
+        ecc_tiles, _ = tile_scalar_field(ecc, self.tile_size)
+
+        semi_axes = self.model.semi_axes(tiles, ecc_tiles)
+        foveal = ecc_tiles < self.foveal_radius_deg
+        semi_axes = np.where(
+            foveal[..., None], ParametricEllipsoidLaw.MIN_SEMI_AXIS, semi_axes
+        )
+
+        optimized = optimize_tiles(
+            tiles, semi_axes, axes=self.axes, case2_placement=self.case2_placement
+        )
+
+        n_pixels = grid.height * grid.width
+        breakdown = bd_breakdown(optimized.adjusted_srgb, n_pixels=n_pixels)
+        original_srgb_tiles = encode_srgb8(tiles)
+        baseline = bd_breakdown(original_srgb_tiles, n_pixels=n_pixels)
+
+        # Perceptual guarantee audit on the pixels we actually moved.
+        moved = ~foveal
+        if moved.any():
+            model_axes = self.model.semi_axes(tiles[moved], ecc_tiles[moved])
+            distances = mahalanobis(optimized.adjusted[moved], tiles[moved], model_axes)
+            max_distance = float(distances.max())
+        else:
+            max_distance = 0.0
+
+        axis_values, axis_counts = np.unique(optimized.chosen_axis, return_counts=True)
+        axis_fractions = {
+            int(a): float(c) / grid.n_tiles for a, c in zip(axis_values, axis_counts)
+        }
+
+        return FrameResult(
+            adjusted_frame=untile_frame(optimized.adjusted, grid),
+            adjusted_srgb=untile_frame(optimized.adjusted_srgb, grid),
+            original_srgb=untile_frame(original_srgb_tiles, grid),
+            breakdown=breakdown,
+            baseline_breakdown=baseline,
+            case2_fraction=float(optimized.case2.mean()),
+            axis_fractions=axis_fractions,
+            max_mahalanobis=max_distance,
+            grid=grid,
+        )

@@ -1,0 +1,50 @@
+"""Base+Delta framebuffer compression substrate (paper Sec. 2.2).
+
+Tiling, bit-level I/O, the BD codec itself (bit-exact round trip), and
+the size accounting every experiment reports.
+"""
+
+from .accounting import UNCOMPRESSED_BPP, SizeBreakdown
+from .bd import (
+    BASE_FIELD_BITS,
+    HEADER_BITS,
+    WIDTH_FIELD_BITS,
+    BDCodec,
+    EncodedFrame,
+    bd_breakdown,
+    delta_widths,
+)
+from .bd_temporal import MODE_FIELD_BITS, TemporalBDAccountant, temporal_delta_widths
+from .bd_variable import (
+    VariableBDCodec,
+    VariableEncodedFrame,
+    group_delta_widths,
+    variable_bd_breakdown,
+)
+from .bitio import BitReader, BitWriter
+from .tiling import TileGrid, tile_frame, tile_scalar_field, untile_frame
+
+__all__ = [
+    "UNCOMPRESSED_BPP",
+    "SizeBreakdown",
+    "BASE_FIELD_BITS",
+    "HEADER_BITS",
+    "WIDTH_FIELD_BITS",
+    "BDCodec",
+    "EncodedFrame",
+    "bd_breakdown",
+    "delta_widths",
+    "MODE_FIELD_BITS",
+    "TemporalBDAccountant",
+    "temporal_delta_widths",
+    "VariableBDCodec",
+    "VariableEncodedFrame",
+    "group_delta_widths",
+    "variable_bd_breakdown",
+    "BitReader",
+    "BitWriter",
+    "TileGrid",
+    "tile_frame",
+    "tile_scalar_field",
+    "untile_frame",
+]

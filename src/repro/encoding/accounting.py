@@ -1,0 +1,101 @@
+"""Compressed-size bookkeeping shared by all codecs.
+
+The paper's evaluation reasons about three per-tile cost components
+(its Fig. 11): the *base* pixels, the per-tile *metadata* (delta bit
+widths), and the *deltas* themselves.  :class:`SizeBreakdown` carries
+those components plus any stream header, and provides the derived
+quantities every experiment reports: bits per pixel and bandwidth
+reduction relative to a baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SizeBreakdown", "UNCOMPRESSED_BPP"]
+
+#: Bits per pixel of an uncompressed sRGB framebuffer (3 x 8-bit).
+UNCOMPRESSED_BPP = 24.0
+
+
+@dataclass(frozen=True)
+class SizeBreakdown:
+    """Bit-cost decomposition of one encoded frame.
+
+    Attributes
+    ----------
+    base_bits, metadata_bits, delta_bits, header_bits:
+        Component costs in bits.
+    n_pixels:
+        Number of *source* pixels (before any tiling pad), the
+        denominator for bits-per-pixel.
+    """
+
+    base_bits: int
+    metadata_bits: int
+    delta_bits: int
+    header_bits: int
+    n_pixels: int
+
+    def __post_init__(self):
+        for name in ("base_bits", "metadata_bits", "delta_bits", "header_bits"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.n_pixels <= 0:
+            raise ValueError(f"n_pixels must be positive, got {self.n_pixels}")
+
+    @property
+    def total_bits(self) -> int:
+        """Total encoded size in bits."""
+        return self.base_bits + self.metadata_bits + self.delta_bits + self.header_bits
+
+    @property
+    def total_bytes(self) -> int:
+        """Total encoded size in whole bytes (rounded up)."""
+        return -(-self.total_bits // 8)
+
+    @property
+    def bits_per_pixel(self) -> float:
+        """Average encoded bits per source pixel."""
+        return self.total_bits / self.n_pixels
+
+    def component_bpp(self) -> dict[str, float]:
+        """Per-component bits per pixel — the quantity of paper Fig. 11."""
+        return {
+            "base": self.base_bits / self.n_pixels,
+            "metadata": self.metadata_bits / self.n_pixels,
+            "deltas": self.delta_bits / self.n_pixels,
+            "header": self.header_bits / self.n_pixels,
+        }
+
+    def reduction_vs_uncompressed(self) -> float:
+        """Fractional bandwidth reduction against raw 24 bpp frames."""
+        return 1.0 - self.bits_per_pixel / UNCOMPRESSED_BPP
+
+    def reduction_vs(self, other: "SizeBreakdown") -> float:
+        """Fractional traffic reduction of ``self`` relative to ``other``.
+
+        Positive means ``self`` is smaller.  Both breakdowns must refer
+        to the same pixel count for the comparison to be meaningful.
+        """
+        if other.n_pixels != self.n_pixels:
+            raise ValueError(
+                f"cannot compare breakdowns over different pixel counts: "
+                f"{self.n_pixels} vs {other.n_pixels}"
+            )
+        if other.total_bits == 0:
+            raise ValueError("reference breakdown has zero size")
+        return 1.0 - self.total_bits / other.total_bits
+
+    @staticmethod
+    def uncompressed(n_pixels: int) -> "SizeBreakdown":
+        """Breakdown of a raw (NoCom) frame: 24 bpp, all 'base'."""
+        if n_pixels <= 0:
+            raise ValueError(f"n_pixels must be positive, got {n_pixels}")
+        return SizeBreakdown(
+            base_bits=int(UNCOMPRESSED_BPP) * n_pixels,
+            metadata_bits=0,
+            delta_bits=0,
+            header_bits=0,
+            n_pixels=n_pixels,
+        )

@@ -1,0 +1,168 @@
+"""Base+Delta (BD) framebuffer codec (paper Sec. 2.2, Eq. 5-6).
+
+BD is the numerically lossless compression that today's mobile SoCs
+apply to all DRAM framebuffer traffic (e.g. Arm AFBC; the paper assumes
+the format of Zhang et al. [76]).  Per tile and per channel it stores a
+*base* value and fixed-width *deltas* of every pixel from the base:
+
+    bits(tile, channel) = 8 (base) + 4 (width field) + t^2 * w
+
+with ``w = ceil(log2(range + 1))`` the smallest width that can hold the
+largest delta in the tile.  Choosing the base as the tile minimum makes
+all deltas non-negative, which is both what minimizes ``w`` (the paper's
+Eq. 6 remark: any base inside ``[Min, Max]`` is optimal) and what keeps
+the format sign-free.
+
+Two interfaces are provided:
+
+* :class:`BDCodec` — a real bitstream encoder/decoder with exact
+  round-trip, used by tests and small-frame paths;
+* :func:`bd_breakdown` / :func:`delta_widths` — fast vectorized bit
+  *accounting* over tile stacks, used by the frame-scale experiments
+  (the stream contents are irrelevant for bandwidth numbers).
+
+Both agree bit-for-bit on total size; a test asserts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .accounting import SizeBreakdown
+from .bitio import BitReader, BitWriter
+from .tiling import TileGrid, tile_frame, untile_frame
+
+__all__ = [
+    "BASE_FIELD_BITS",
+    "WIDTH_FIELD_BITS",
+    "HEADER_BITS",
+    "delta_widths",
+    "bd_breakdown",
+    "EncodedFrame",
+    "BDCodec",
+]
+
+#: Bits to store one base value (8-bit sRGB channel).
+BASE_FIELD_BITS = 8
+#: Bits of per-tile-per-channel metadata: the delta width (0..8 fits in 4).
+WIDTH_FIELD_BITS = 4
+#: Stream header: 16-bit height, 16-bit width, 8-bit tile size.
+HEADER_BITS = 40
+
+
+def _validate_tiles(tiles) -> np.ndarray:
+    arr = np.asarray(tiles)
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise ValueError(f"tiles must be (n_tiles, pixels, 3), got {arr.shape}")
+    if arr.dtype != np.uint8:
+        raise TypeError(f"BD operates on uint8 sRGB codes, got dtype {arr.dtype}")
+    return arr
+
+
+def delta_widths(tiles) -> np.ndarray:
+    """Per-tile per-channel delta bit widths, shape ``(n_tiles, 3)``.
+
+    ``w = ceil(log2(max - min + 1))``; a constant channel needs zero
+    delta bits.  Matches the paper's Eq. 6 (its floor is a typo — a
+    range of 2 needs 2 bits, not 1).
+    """
+    arr = _validate_tiles(tiles).astype(np.int64)
+    ranges = arr.max(axis=1) - arr.min(axis=1)
+    return np.ceil(np.log2(ranges + 1.0)).astype(np.int64)
+
+
+def bd_breakdown(tiles, n_pixels: int | None = None) -> SizeBreakdown:
+    """Vectorized BD bit accounting for a tile stack.
+
+    Parameters
+    ----------
+    tiles:
+        ``(n_tiles, pixels_per_tile, 3)`` uint8 sRGB tile stack.
+    n_pixels:
+        Source pixel count for the bits-per-pixel denominator; defaults
+        to the padded tile-stack pixel count.
+    """
+    arr = _validate_tiles(tiles)
+    n_tiles, pixels_per_tile = arr.shape[0], arr.shape[1]
+    widths = delta_widths(arr)
+    return SizeBreakdown(
+        base_bits=BASE_FIELD_BITS * 3 * n_tiles,
+        metadata_bits=WIDTH_FIELD_BITS * 3 * n_tiles,
+        delta_bits=int(widths.sum()) * pixels_per_tile,
+        header_bits=HEADER_BITS,
+        n_pixels=n_pixels if n_pixels is not None else n_tiles * pixels_per_tile,
+    )
+
+
+@dataclass(frozen=True)
+class EncodedFrame:
+    """A BD-encoded frame: the bitstream plus its size decomposition."""
+
+    data: bytes
+    grid: TileGrid
+    breakdown: SizeBreakdown
+
+
+class BDCodec:
+    """Bitstream Base+Delta codec over square tiles.
+
+    The codec is numerically lossless: ``decode(encode(frame))`` returns
+    the input exactly.  The perceptual encoder plugs in *before* this
+    codec, adjusting pixels so the deltas shrink (paper Fig. 7).
+    """
+
+    def __init__(self, tile_size: int = 4):
+        if tile_size < 1:
+            raise ValueError(f"tile_size must be >= 1, got {tile_size}")
+        self.tile_size = tile_size
+
+    def encode(self, frame_srgb8) -> EncodedFrame:
+        """Encode an ``(H, W, 3)`` uint8 sRGB frame."""
+        frame = np.asarray(frame_srgb8)
+        if frame.ndim != 3 or frame.shape[2] != 3:
+            raise ValueError(f"frame must be (H, W, 3), got {frame.shape}")
+        if frame.dtype != np.uint8:
+            raise TypeError(f"BD encodes uint8 sRGB frames, got dtype {frame.dtype}")
+        tiles, grid = tile_frame(frame, self.tile_size)
+        bases = tiles.min(axis=1)  # (n_tiles, 3)
+        widths = delta_widths(tiles)
+
+        writer = BitWriter()
+        writer.write(grid.height, 16)
+        writer.write(grid.width, 16)
+        writer.write(self.tile_size, 8)
+        deltas = tiles.astype(np.int64) - bases[:, None, :]
+        for tile_index in range(tiles.shape[0]):
+            for channel in range(3):
+                writer.write(int(bases[tile_index, channel]), BASE_FIELD_BITS)
+                width = int(widths[tile_index, channel])
+                writer.write(width, WIDTH_FIELD_BITS)
+                if width:
+                    writer.write_many(deltas[tile_index, :, channel], width)
+
+        breakdown = bd_breakdown(tiles, n_pixels=grid.height * grid.width)
+        return EncodedFrame(data=writer.getvalue(), grid=grid, breakdown=breakdown)
+
+    def decode(self, encoded: EncodedFrame) -> np.ndarray:
+        """Decode back to the exact ``(H, W, 3)`` uint8 frame."""
+        reader = BitReader(encoded.data)
+        height = reader.read(16)
+        width = reader.read(16)
+        tile_size = reader.read(8)
+        grid = TileGrid(height=height, width=width, tile_size=tile_size)
+        if grid != encoded.grid:
+            raise ValueError("bitstream header disagrees with the encoded frame's grid")
+        pixels_per_tile = grid.pixels_per_tile
+        tiles = np.empty((grid.n_tiles, pixels_per_tile, 3), dtype=np.uint8)
+        for tile_index in range(grid.n_tiles):
+            for channel in range(3):
+                base = reader.read(BASE_FIELD_BITS)
+                delta_width = reader.read(WIDTH_FIELD_BITS)
+                if delta_width:
+                    values = reader.read_many(pixels_per_tile, delta_width)
+                    tiles[tile_index, :, channel] = [base + v for v in values]
+                else:
+                    tiles[tile_index, :, channel] = base
+        return untile_frame(tiles, grid)

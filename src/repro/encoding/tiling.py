@@ -1,0 +1,120 @@
+"""Frame tiling utilities.
+
+Base+Delta compression and the perceptual adjustment both operate on
+square pixel tiles (4x4 by default, the paper's hardware tile).  These
+helpers convert between ``(H, W, C)`` frames and ``(n_tiles,
+tile_size**2, C)`` tile stacks, handling frames whose dimensions are not
+multiples of the tile size by edge replication (the choice real
+framebuffer compressors make: replicated pixels compress for free and
+are cropped away on decode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TileGrid", "tile_frame", "untile_frame", "tile_scalar_field"]
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """Geometry of a tiled frame.
+
+    Records the original frame size, the tile size, and the padded size
+    actually tiled, so that :func:`untile_frame` can restore the exact
+    original frame.
+    """
+
+    height: int
+    width: int
+    tile_size: int
+
+    def __post_init__(self):
+        if self.tile_size < 1:
+            raise ValueError(f"tile_size must be >= 1, got {self.tile_size}")
+        if self.height < 1 or self.width < 1:
+            raise ValueError(f"frame must be non-empty, got {self.height}x{self.width}")
+
+    @property
+    def padded_height(self) -> int:
+        return -(-self.height // self.tile_size) * self.tile_size
+
+    @property
+    def padded_width(self) -> int:
+        return -(-self.width // self.tile_size) * self.tile_size
+
+    @property
+    def tiles_down(self) -> int:
+        return self.padded_height // self.tile_size
+
+    @property
+    def tiles_across(self) -> int:
+        return self.padded_width // self.tile_size
+
+    @property
+    def n_tiles(self) -> int:
+        return self.tiles_down * self.tiles_across
+
+    @property
+    def pixels_per_tile(self) -> int:
+        return self.tile_size * self.tile_size
+
+
+def _pad_to_grid(frame: np.ndarray, grid: TileGrid) -> np.ndarray:
+    pad_h = grid.padded_height - grid.height
+    pad_w = grid.padded_width - grid.width
+    if pad_h == 0 and pad_w == 0:
+        return frame
+    pad_spec = [(0, pad_h), (0, pad_w)] + [(0, 0)] * (frame.ndim - 2)
+    return np.pad(frame, pad_spec, mode="edge")
+
+
+def tile_frame(frame, tile_size: int) -> tuple[np.ndarray, TileGrid]:
+    """Split an ``(H, W, C)`` frame into a ``(n_tiles, t*t, C)`` stack.
+
+    Tiles are ordered row-major over the tile grid; pixels within a tile
+    are row-major as well.  Returns the stack and the :class:`TileGrid`
+    needed to invert the operation.
+    """
+    arr = np.asarray(frame)
+    if arr.ndim != 3:
+        raise ValueError(f"frame must be (H, W, C), got shape {arr.shape}")
+    grid = TileGrid(height=arr.shape[0], width=arr.shape[1], tile_size=tile_size)
+    padded = _pad_to_grid(arr, grid)
+    t = tile_size
+    stacked = (
+        padded.reshape(grid.tiles_down, t, grid.tiles_across, t, arr.shape[2])
+        .swapaxes(1, 2)
+        .reshape(grid.n_tiles, t * t, arr.shape[2])
+    )
+    return np.ascontiguousarray(stacked), grid
+
+
+def untile_frame(tiles, grid: TileGrid) -> np.ndarray:
+    """Reassemble a tile stack produced by :func:`tile_frame`.
+
+    The padding added for non-multiple frame sizes is cropped away, so
+    the result has exactly the grid's original ``(height, width)``.
+    """
+    arr = np.asarray(tiles)
+    expected = (grid.n_tiles, grid.pixels_per_tile)
+    if arr.ndim != 3 or arr.shape[:2] != expected:
+        raise ValueError(f"tiles must have shape ({expected[0]}, {expected[1]}, C), got {arr.shape}")
+    t = grid.tile_size
+    frame = (
+        arr.reshape(grid.tiles_down, grid.tiles_across, t, t, arr.shape[2])
+        .swapaxes(1, 2)
+        .reshape(grid.padded_height, grid.padded_width, arr.shape[2])
+    )
+    return np.ascontiguousarray(frame[: grid.height, : grid.width])
+
+
+def tile_scalar_field(field, tile_size: int) -> tuple[np.ndarray, TileGrid]:
+    """Tile a per-pixel scalar field (e.g. eccentricity) to ``(n, t*t)``."""
+    arr = np.asarray(field)
+    if arr.ndim != 2:
+        raise ValueError(f"field must be (H, W), got shape {arr.shape}")
+    tiles, grid = tile_frame(arr[..., None], tile_size)
+    return tiles[..., 0], grid

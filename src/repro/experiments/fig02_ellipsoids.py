@@ -1,0 +1,85 @@
+"""Fig. 2 — discrimination ellipsoid fields at 5 and 25 degrees.
+
+The paper's Fig. 2 plots the discrimination ellipsoids of 27 colors
+uniformly sampled in the linear-RGB cube between (0.2, 0.2, 0.2) and
+(0.8, 0.8, 0.8), at 5 deg and at 25 deg eccentricity, showing the
+peripheral ellipsoids are larger.  This runner produces the underlying
+geometry: DKL semi-axes and RGB-space half-widths per color per
+eccentricity, plus the volume growth factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..perception.geometry import channel_halfwidth
+from .common import ExperimentConfig, format_table
+
+__all__ = ["EllipsoidAtlas", "run", "sample_colors"]
+
+#: Eccentricities of the two Fig. 2 panels.
+FIG2_ECCENTRICITIES = (5.0, 25.0)
+
+
+def sample_colors() -> np.ndarray:
+    """The 27 colors of Fig. 2: a 3x3x3 grid over [0.2, 0.8]^3."""
+    axis = np.linspace(0.2, 0.8, 3)
+    grid = np.meshgrid(axis, axis, axis, indexing="ij")
+    return np.stack([g.ravel() for g in grid], axis=1)
+
+
+@dataclass(frozen=True)
+class EllipsoidAtlas:
+    """Per-color ellipsoid geometry at the two Fig. 2 eccentricities."""
+
+    colors: np.ndarray  # (27, 3)
+    semi_axes: dict[float, np.ndarray]  # ecc -> (27, 3) DKL semi-axes
+    rgb_halfwidths: dict[float, np.ndarray]  # ecc -> (27, 3) per-channel
+
+    def volume_growth(self) -> np.ndarray:
+        """Per-color DKL volume ratio between 25 and 5 degrees."""
+        low = np.prod(self.semi_axes[FIG2_ECCENTRICITIES[0]], axis=1)
+        high = np.prod(self.semi_axes[FIG2_ECCENTRICITIES[1]], axis=1)
+        return high / low
+
+    def mean_halfwidths(self, eccentricity: float) -> np.ndarray:
+        """Mean RGB half-widths (R, G, B) over the 27 colors."""
+        return self.rgb_halfwidths[eccentricity].mean(axis=0)
+
+    def table(self) -> str:
+        rows = []
+        for ecc in FIG2_ECCENTRICITIES:
+            mean_h = self.mean_halfwidths(ecc)
+            rows.append([f"{ecc:g} deg", *(255.0 * mean_h)])
+        body = format_table(
+            ["eccentricity", "R halfwidth (codes)", "G halfwidth (codes)",
+             "B halfwidth (codes)"],
+            rows,
+        )
+        growth = self.volume_growth()
+        return body + (
+            f"\nvolume growth 5->25 deg: mean {growth.mean():.1f}x "
+            f"(min {growth.min():.1f}x)"
+        )
+
+
+def run(config: ExperimentConfig | None = None) -> EllipsoidAtlas:
+    """Evaluate the discrimination model on the Fig. 2 sampling."""
+    config = config or ExperimentConfig()
+    model = config.model()
+    colors = sample_colors()
+    semi_axes = {}
+    halfwidths = {}
+    for ecc in FIG2_ECCENTRICITIES:
+        axes = model.semi_axes(colors, np.full(colors.shape[0], ecc))
+        semi_axes[ecc] = axes
+        halfwidths[ecc] = np.stack(
+            [channel_halfwidth(axes, channel) for channel in range(3)], axis=1
+        )
+    return EllipsoidAtlas(colors=colors, semi_axes=semi_axes, rgb_halfwidths=halfwidths)
+
+
+if __name__ == "__main__":
+    print(run().table())

@@ -1,0 +1,95 @@
+"""Fig. 10 — bandwidth reduction over baselines, per scene.
+
+For each scene the paper plots the bandwidth reduction (relative to the
+uncompressed frame) achieved by SCC, BD, PNG and the proposed scheme.
+Headline numbers: ours averages 66.9% over NoCom, 50.3% over SCC and
+15.6% (up to 20.4%) over BD; PNG beats ours on two scenes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.registry import BASELINE_NAMES, baseline_bits
+from ..color.srgb import encode_srgb8
+from ..encoding.accounting import UNCOMPRESSED_BPP
+from .common import ExperimentConfig, encoder_for, format_table, render_eval_frames
+
+__all__ = ["SceneBandwidth", "BandwidthResult", "run"]
+
+
+@dataclass(frozen=True)
+class SceneBandwidth:
+    """Average bits-per-pixel of every method on one scene."""
+
+    scene: str
+    bpp: dict[str, float]  # method name -> bits per pixel
+
+    def reduction(self, method: str) -> float:
+        """Bandwidth reduction of ``method`` vs. uncompressed frames."""
+        return 1.0 - self.bpp[method] / UNCOMPRESSED_BPP
+
+    def ours_reduction_vs(self, method: str) -> float:
+        """Traffic reduction of our scheme relative to ``method``."""
+        return 1.0 - self.bpp["Ours"] / self.bpp[method]
+
+
+@dataclass(frozen=True)
+class BandwidthResult:
+    """Fig. 10 data across all scenes."""
+
+    scenes: list[SceneBandwidth]
+
+    def mean_reduction_vs(self, method: str) -> float:
+        return float(np.mean([s.ours_reduction_vs(method) for s in self.scenes]))
+
+    def max_reduction_vs(self, method: str) -> float:
+        return float(np.max([s.ours_reduction_vs(method) for s in self.scenes]))
+
+    def png_wins(self) -> int:
+        """Scenes where lossless PNG out-compresses our scheme."""
+        return sum(1 for s in self.scenes if s.bpp["PNG"] < s.bpp["Ours"])
+
+    def table(self) -> str:
+        headers = ["scene"] + [f"{m} red%" for m in ("SCC", "BD", "PNG", "Ours")]
+        rows = [
+            [s.scene] + [100.0 * s.reduction(m) for m in ("SCC", "BD", "PNG", "Ours")]
+            for s in self.scenes
+        ]
+        summary = (
+            f"ours vs NoCom {100 * self.mean_reduction_vs('NoCom'):.1f}% | "
+            f"vs SCC {100 * self.mean_reduction_vs('SCC'):.1f}% | "
+            f"vs BD mean {100 * self.mean_reduction_vs('BD'):.1f}% "
+            f"max {100 * self.max_reduction_vs('BD'):.1f}% | PNG wins {self.png_wins()}"
+        )
+        return format_table(headers, rows, precision=1) + "\n" + summary
+
+
+def run(config: ExperimentConfig | None = None) -> BandwidthResult:
+    """Measure every method on every scene and collate Fig. 10."""
+    config = config or ExperimentConfig()
+    encoder = encoder_for(config)
+    eccentricity = config.eccentricity_map()
+    n_pixels = config.height * config.width
+
+    scenes = []
+    for name in config.scene_names:
+        totals = {method: 0.0 for method in (*BASELINE_NAMES, "Ours")}
+        frames = render_eval_frames(config, name)
+        for frame in frames:
+            srgb = encode_srgb8(frame)
+            for method in BASELINE_NAMES:
+                totals[method] += baseline_bits(method, srgb, tile_size=config.tile_size)
+            result = encoder.encode_frame(frame, eccentricity)
+            totals["Ours"] += result.breakdown.total_bits
+        bpp = {
+            method: bits / (n_pixels * len(frames)) for method, bits in totals.items()
+        }
+        scenes.append(SceneBandwidth(scene=name, bpp=bpp))
+    return BandwidthResult(scenes=scenes)
+
+
+if __name__ == "__main__":
+    print(run().table())

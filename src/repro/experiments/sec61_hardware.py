@@ -1,0 +1,75 @@
+"""Sec. 6.1 — CAU performance, area and power numbers.
+
+Reproduces the paper's hardware arithmetic: PE count derivation from
+GPU throughput, compression latency at the highest Quest 2 resolution
+(173.4 us, negligible in a 13.9 ms frame budget), PE-array area
+(2.1 mm^2) and CAU power (201.6 uW).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.cau import CAUModel, pe_count_for_gpu
+from ..scenes.display import QUEST2_HIGH_RESOLUTION
+from .common import format_table
+
+__all__ = ["HardwareResult", "run", "PAPER_CONSTANTS"]
+
+#: The numbers Sec. 6.1 reports, for side-by-side comparison.
+PAPER_CONSTANTS = {
+    "frequency_mhz": 166.7,
+    "n_pes": 96,
+    "latency_us_high_res": 173.4,
+    "pe_array_area_mm2": 2.1,
+    "buffer_area_mm2": 0.03,
+    "cau_power_uw": 201.6,
+    "frame_budget_ms_72fps": 13.9,
+}
+
+
+@dataclass(frozen=True)
+class HardwareResult:
+    """Model outputs next to the paper's reported constants."""
+
+    frequency_mhz: float
+    n_pes_derived: int
+    latency_us_high_res: float
+    pe_array_area_mm2: float
+    total_area_mm2: float
+    cau_power_uw: float
+    latency_fraction_of_72fps_budget: float
+
+    def table(self) -> str:
+        rows = [
+            ["frequency (MHz)", self.frequency_mhz, PAPER_CONSTANTS["frequency_mhz"]],
+            ["PEs (derived)", self.n_pes_derived, PAPER_CONSTANTS["n_pes"]],
+            ["latency @5408x2736 (us)", self.latency_us_high_res,
+             PAPER_CONSTANTS["latency_us_high_res"]],
+            ["PE array area (mm^2)", self.pe_array_area_mm2,
+             PAPER_CONSTANTS["pe_array_area_mm2"]],
+            ["CAU power (uW)", self.cau_power_uw, PAPER_CONSTANTS["cau_power_uw"]],
+            ["latency / 72FPS budget", self.latency_fraction_of_72fps_budget, "-"],
+        ]
+        return format_table(["quantity", "model", "paper"], rows)
+
+
+def run() -> HardwareResult:
+    """Evaluate the CAU model at the paper's operating point."""
+    model = CAUModel()
+    height, width = QUEST2_HIGH_RESOLUTION
+    return HardwareResult(
+        frequency_mhz=model.frequency_mhz,
+        n_pes_derived=pe_count_for_gpu(),
+        latency_us_high_res=model.compression_latency_s(height, width) * 1e6,
+        pe_array_area_mm2=model.total_pe_area_mm2,
+        total_area_mm2=model.total_area_mm2,
+        cau_power_uw=model.total_power_w * 1e6,
+        latency_fraction_of_72fps_budget=model.latency_fraction_of_budget(
+            height, width, 72.0
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(run().table())

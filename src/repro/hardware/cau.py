@@ -1,0 +1,129 @@
+"""Color Adjustment Unit (CAU) hardware model (paper Sec. 4, 6.1).
+
+The paper synthesizes the CAU in TSMC 7 nm and reports its operating
+constants; this module implements the *analytical* performance/area/
+power arithmetic the evaluation derives from them.  Published
+constants (all from Sec. 6.1):
+
+* cycle time 6 ns (~166.7 MHz);
+* the Adreno 650 GPU (512 shader cores at 441 MHz) produces at most
+  3 pixels per shader core per CAU cycle -> 512 x 3 = 1536 pixels =
+  96 four-by-four tiles per cycle, hence 96 PEs;
+* per-PE area 0.022 mm^2 (2.1 mm^2 total), pending buffers 36 KB /
+  0.03 mm^2; per-PE-plus-buffer power 2.1 uW (201.6 uW total);
+* compressing a 5408 x 2736 frame adds 173.4 us.
+
+The 173.4 us figure corresponds to three pipeline-phase passes over
+the 9,633 tile-batches (= ceil(924,768 tiles / 96 PEs)) at 6 ns:
+batches x 3 x 6 ns = 173.4 us.  We model that explicitly with a
+``pipeline_phases`` factor of 3, matching the CAU's three internally
+pipelined phases (extrema, planes, shift) under the paper's
+conservative non-overlapped accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CAUConfig", "CAUModel", "pe_count_for_gpu"]
+
+
+def pe_count_for_gpu(
+    shader_cores: int = 512,
+    gpu_frequency_hz: float = 441e6,
+    cau_cycle_ns: float = 6.0,
+    pixels_per_tile: int = 16,
+) -> int:
+    """PEs needed to keep up with a fully-utilized GPU (Sec. 6.1).
+
+    Each shader core emits one pixel per GPU cycle; during one CAU
+    cycle the GPU therefore produces ``cores * ceil(cycle_ratio)``
+    pixels, which the CAU must consume as whole tiles.
+    """
+    if shader_cores <= 0 or gpu_frequency_hz <= 0 or cau_cycle_ns <= 0:
+        raise ValueError("GPU parameters must be positive")
+    if pixels_per_tile <= 0:
+        raise ValueError(f"pixels_per_tile must be positive, got {pixels_per_tile}")
+    gpu_cycles_per_cau_cycle = cau_cycle_ns * 1e-9 * gpu_frequency_hz
+    pixels_per_cau_cycle = shader_cores * int(-(-gpu_cycles_per_cau_cycle // 1))
+    return -(-pixels_per_cau_cycle // pixels_per_tile)
+
+
+@dataclass(frozen=True)
+class CAUConfig:
+    """Synthesized constants of the CAU (TSMC 7 nm, paper Sec. 6.1)."""
+
+    n_pes: int = 96
+    cycle_ns: float = 6.0
+    pipeline_phases: int = 3
+    tile_size: int = 4
+    pe_area_mm2: float = 0.022
+    buffer_area_mm2: float = 0.03
+    pe_power_w: float = 2.1e-6
+    buffer_bytes: int = 36 * 1024
+
+    def __post_init__(self):
+        if self.n_pes <= 0:
+            raise ValueError(f"n_pes must be positive, got {self.n_pes}")
+        if self.cycle_ns <= 0:
+            raise ValueError(f"cycle_ns must be positive, got {self.cycle_ns}")
+        if self.pipeline_phases <= 0:
+            raise ValueError(f"pipeline_phases must be positive, got {self.pipeline_phases}")
+        if self.tile_size <= 0:
+            raise ValueError(f"tile_size must be positive, got {self.tile_size}")
+
+
+class CAUModel:
+    """Analytical latency/area/power model of the CAU."""
+
+    def __init__(self, config: CAUConfig | None = None):
+        self.config = config or CAUConfig()
+
+    @property
+    def frequency_mhz(self) -> float:
+        """Operating frequency implied by the cycle time."""
+        return 1e3 / self.config.cycle_ns
+
+    @property
+    def total_pe_area_mm2(self) -> float:
+        """Area of the PE array (2.1 mm^2 for the default config)."""
+        return self.config.n_pes * self.config.pe_area_mm2
+
+    @property
+    def total_area_mm2(self) -> float:
+        """PE array plus pending buffers."""
+        return self.total_pe_area_mm2 + self.config.buffer_area_mm2
+
+    @property
+    def total_power_w(self) -> float:
+        """Encoding power: PEs with their buffers (201.6 uW default)."""
+        return self.config.n_pes * self.config.pe_power_w
+
+    def tiles_for_resolution(self, height: int, width: int) -> int:
+        """Number of tiles in one frame (partial tiles round up)."""
+        if height <= 0 or width <= 0:
+            raise ValueError(f"resolution must be positive, got {height}x{width}")
+        t = self.config.tile_size
+        return (-(-height // t)) * (-(-width // t))
+
+    def compression_latency_s(self, height: int, width: int) -> float:
+        """Added latency to compress one frame (173.4 us at 5408x2736).
+
+        ``ceil(tiles / PEs)`` batches, each spending ``pipeline_phases``
+        CAU cycles under the paper's conservative accounting.
+        """
+        tiles = self.tiles_for_resolution(height, width)
+        batches = -(-tiles // self.config.n_pes)
+        return batches * self.config.pipeline_phases * self.config.cycle_ns * 1e-9
+
+    def supports_frame_rate(self, height: int, width: int, fps: float) -> bool:
+        """Whether compression latency fits within the frame budget."""
+        if fps <= 0:
+            raise ValueError(f"fps must be positive, got {fps}")
+        return self.compression_latency_s(height, width) < 1.0 / fps
+
+    def latency_fraction_of_budget(self, height: int, width: int, fps: float) -> float:
+        """Compression latency as a fraction of the frame time."""
+        if fps <= 0:
+            raise ValueError(f"fps must be positive, got {fps}")
+        return self.compression_latency_s(height, width) * fps

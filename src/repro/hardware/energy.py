@@ -1,0 +1,87 @@
+"""DRAM traffic energy model (paper Sec. 5.1, Fig. 13).
+
+The paper prices DRAM accesses with Micron's system power calculator
+for a typical 8 Gb 32-bit LPDDR4 part: 3,477 pJ per (uncompressed,
+3-byte) pixel, i.e. ~144.9 pJ per bit of traffic.  Power at a given
+operating point is then
+
+    P = bits_per_pixel x pixels_per_frame x fps x energy_per_bit
+
+and the *saving* of one encoder over another is the traffic delta
+priced the same way, minus the CAU's own power (201.6 uW), which the
+paper "faithfully accounts for".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DRAM_ENERGY_PER_PIXEL_PJ",
+    "DRAM_ENERGY_PER_BIT_J",
+    "SYSTEM_POWER_REFERENCE_W",
+    "dram_traffic_power_w",
+    "power_saving_w",
+    "OperatingPoint",
+]
+
+#: Energy to move one uncompressed 24-bit pixel through DRAM (pJ).
+DRAM_ENERGY_PER_PIXEL_PJ = 3477.0
+
+#: Energy per bit of DRAM traffic (J), derived from the per-pixel figure.
+DRAM_ENERGY_PER_BIT_J = DRAM_ENERGY_PER_PIXEL_PJ * 1e-12 / 24.0
+
+#: Total measured system power rendering without compression at the
+#: lowest Quest 2 operating point; back-derived from the paper's
+#: statement that a 180.3 mW saving is 29.9% of the total (Sec. 6.2).
+SYSTEM_POWER_REFERENCE_W = 0.1803 / 0.299
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A display operating point: resolution and refresh rate."""
+
+    height: int
+    width: int
+    fps: float
+
+    def __post_init__(self):
+        if self.height <= 0 or self.width <= 0:
+            raise ValueError(f"resolution must be positive, got {self.height}x{self.width}")
+        if self.fps <= 0:
+            raise ValueError(f"fps must be positive, got {self.fps}")
+
+    @property
+    def pixels(self) -> int:
+        return self.height * self.width
+
+    @property
+    def label(self) -> str:
+        return f"{self.width}x{self.height}@{self.fps:g}FPS"
+
+
+def dram_traffic_power_w(bits_per_pixel: float, point: OperatingPoint) -> float:
+    """DRAM power of streaming frames at ``bits_per_pixel`` through memory."""
+    if bits_per_pixel < 0:
+        raise ValueError(f"bits_per_pixel must be non-negative, got {bits_per_pixel}")
+    return bits_per_pixel * point.pixels * point.fps * DRAM_ENERGY_PER_BIT_J
+
+
+def power_saving_w(
+    baseline_bpp: float,
+    ours_bpp: float,
+    point: OperatingPoint,
+    encoder_overhead_w: float = 201.6e-6,
+) -> float:
+    """Net power saved by our encoder over a baseline (paper Fig. 13).
+
+    Positive when we save power; the encoder's own consumption is
+    subtracted.  ``baseline_bpp < ours_bpp`` yields a negative value —
+    callers decide whether that is an error for them.
+    """
+    if encoder_overhead_w < 0:
+        raise ValueError(f"encoder_overhead_w must be >= 0, got {encoder_overhead_w}")
+    gross = dram_traffic_power_w(baseline_bpp, point) - dram_traffic_power_w(
+        ours_bpp, point
+    )
+    return gross - encoder_overhead_w

@@ -1,0 +1,16 @@
+"""Objective quality metrics and reporting statistics."""
+
+from .psnr import mse, psnr, psnr_per_channel
+from .temporal import FlickerReport, flicker_report
+from .stats import Summary, geometric_mean, summarize
+
+__all__ = [
+    "mse",
+    "psnr",
+    "psnr_per_channel",
+    "FlickerReport",
+    "flicker_report",
+    "Summary",
+    "geometric_mean",
+    "summarize",
+]

@@ -1,0 +1,93 @@
+"""Temporal stability metrics for adjusted frame sequences.
+
+The perceptual adjustment is computed per frame with no temporal state,
+which raises a question the paper does not evaluate: do static scene
+regions *flicker* — change output colors frame to frame even though
+the input barely changed?  (Several study participants reported
+artifacts specifically during motion, making temporal behaviour worth
+quantifying.)
+
+The metric: for consecutive frame pairs, compare the output color
+change against the input color change per pixel, in 8-bit sRGB code
+units.  The *excess temporal variation*
+
+    excess = mean(max(0, |out_t - out_{t-1}| - |in_t - in_{t-1}|))
+
+is zero for a codec that never amplifies temporal change, and grows
+when the adjustment flips states between frames (e.g. a tile's HL/LH
+geometry toggling between cases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FlickerReport", "flicker_report"]
+
+
+@dataclass(frozen=True)
+class FlickerReport:
+    """Temporal-variation comparison of an encoded sequence.
+
+    All statistics are in 8-bit code units, averaged over pixels and
+    consecutive frame pairs.
+    """
+
+    input_variation: float
+    output_variation: float
+    excess_variation: float
+    max_excess: float
+    n_pairs: int
+
+    @property
+    def amplification(self) -> float:
+        """Output-to-input temporal variation ratio (1.0 = neutral)."""
+        if self.input_variation == 0:
+            return float("inf") if self.output_variation > 0 else 1.0
+        return self.output_variation / self.input_variation
+
+
+def flicker_report(input_frames, output_frames) -> FlickerReport:
+    """Compare temporal variation of input and output sRGB sequences.
+
+    Parameters
+    ----------
+    input_frames, output_frames:
+        Equal-length lists of ``(H, W, 3)`` uint8 frames (at least 2).
+    """
+    if len(input_frames) != len(output_frames):
+        raise ValueError(
+            f"sequence lengths differ: {len(input_frames)} vs {len(output_frames)}"
+        )
+    if len(input_frames) < 2:
+        raise ValueError("need at least two frames to measure temporal variation")
+
+    input_total = 0.0
+    output_total = 0.0
+    excess_total = 0.0
+    max_excess = 0.0
+    n_pairs = len(input_frames) - 1
+    for index in range(n_pairs):
+        in_a = np.asarray(input_frames[index], dtype=np.float64)
+        in_b = np.asarray(input_frames[index + 1], dtype=np.float64)
+        out_a = np.asarray(output_frames[index], dtype=np.float64)
+        out_b = np.asarray(output_frames[index + 1], dtype=np.float64)
+        if in_a.shape != out_a.shape:
+            raise ValueError(f"frame shape mismatch: {in_a.shape} vs {out_a.shape}")
+        input_change = np.abs(in_b - in_a)
+        output_change = np.abs(out_b - out_a)
+        excess = np.maximum(0.0, output_change - input_change)
+        input_total += float(input_change.mean())
+        output_total += float(output_change.mean())
+        excess_total += float(excess.mean())
+        max_excess = max(max_excess, float(excess.max()))
+
+    return FlickerReport(
+        input_variation=input_total / n_pairs,
+        output_variation=output_total / n_pairs,
+        excess_variation=excess_total / n_pairs,
+        max_excess=max_excess,
+        n_pairs=n_pairs,
+    )

@@ -1,0 +1,66 @@
+"""Dark-adaptation extension of the discrimination model (paper Sec. 7).
+
+The paper's related-work section observes that "dark adaptation will
+likely weaken the color discrimination even more, potentially further
+improving the compression rate — an interesting future direction".
+This module implements that direction as a model wrapper so the gain
+can be measured.
+
+Mechanism: as the visual system dark-adapts, rod vision takes over and
+chromatic discrimination degrades, most strongly for dim stimuli (rods
+saturate on bright content, leaving cone vision in charge there).  We
+model an adaptation state in ``[0, 1]`` (0 = fully light-adapted, the
+base model; 1 = fully dark-adapted) that inflates the base model's
+thresholds by a factor growing with both the adaptation state and the
+stimulus dimness:
+
+    scale(L) = 1 + gain * state * (1 - L)^2
+
+with ``L`` the pixel's relative luminance.  The quadratic keeps bright
+pixels essentially untouched, matching the physiology (cones dominate
+above ~3 cd/m^2 regardless of adaptation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..color.utils import relative_luminance
+from .model import DiscriminationModel
+
+__all__ = ["DarkAdaptedModel"]
+
+
+class DarkAdaptedModel:
+    """Wrap a discrimination model with a dark-adaptation state.
+
+    Parameters
+    ----------
+    base:
+        The light-adapted model to inflate.
+    adaptation:
+        Adaptation state in ``[0, 1]``; 0 reproduces ``base`` exactly.
+    gain:
+        Maximum threshold inflation for a fully dark-adapted observer
+        viewing a black stimulus.  The default doubles thresholds at
+        that extreme — deliberately moderate, since quantitative
+        dark-adaptation discrimination data is exactly what the paper
+        says the community still needs.
+    """
+
+    def __init__(self, base: DiscriminationModel, adaptation: float, gain: float = 1.0):
+        if not 0.0 <= adaptation <= 1.0:
+            raise ValueError(f"adaptation must be in [0, 1], got {adaptation}")
+        if gain < 0:
+            raise ValueError(f"gain must be non-negative, got {gain}")
+        self.base = base
+        self.adaptation = float(adaptation)
+        self.gain = float(gain)
+
+    def semi_axes(self, rgb, eccentricity_deg) -> np.ndarray:
+        axes = self.base.semi_axes(rgb, eccentricity_deg)
+        if self.adaptation == 0.0 or self.gain == 0.0:
+            return axes
+        dimness = 1.0 - np.clip(relative_luminance(np.asarray(rgb, dtype=np.float64)), 0.0, 1.0)
+        scale = 1.0 + self.gain * self.adaptation * np.square(dimness)
+        return axes * scale[..., None]

@@ -1,0 +1,104 @@
+"""Per-user calibration of the discrimination model (paper Sec. 6.5).
+
+The paper notes that discrimination models target the population
+average and proposes per-user calibration — analogous to IPD adjustment
+— as the deployment answer to sensitive observers.  This module
+implements that mechanism:
+
+* :class:`ObserverProfile` — a named sensitivity factor (1.0 = average;
+  smaller = more sensitive, e.g. the study's "visual artist");
+* :func:`sample_population` — draw a population of profiles with
+  log-normal sensitivity spread, used by the simulated user study;
+* :func:`calibrated_model` — bind a profile to a base model, yielding
+  the per-user ``Phi`` the encoder would run with after calibration.
+
+Color-vision deficiency (CVD) is explicitly *not* modeled — matching
+the paper, which states the underlying discrimination model does not
+cover CVD and that the encoder should simply be bypassed for such
+users.  Profiles can carry ``has_cvd=True`` to request that bypass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .model import DiscriminationModel, ScaledModel, default_model
+
+__all__ = [
+    "ObserverProfile",
+    "sample_population",
+    "calibrated_model",
+]
+
+
+@dataclass(frozen=True)
+class ObserverProfile:
+    """A single observer's calibration result.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in study reports.
+    sensitivity:
+        Multiplier on ellipsoid semi-axes.  ``1.0`` is the population
+        average the published model targets; ``0.6`` would be a
+        color-sensitive observer whose true thresholds are 40% tighter.
+    has_cvd:
+        If True the observer has a color-vision deficiency; the encoder
+        must be bypassed (the model does not apply), per Sec. 6.5.
+    """
+
+    name: str
+    sensitivity: float = 1.0
+    has_cvd: bool = False
+
+    def __post_init__(self):
+        if self.sensitivity <= 0:
+            raise ValueError(f"sensitivity must be positive, got {self.sensitivity}")
+
+
+def sample_population(
+    count: int,
+    rng: np.random.Generator,
+    spread: float = 0.22,
+    sensitive_fraction: float = 0.1,
+    sensitive_factor: float = 0.55,
+) -> list[ObserverProfile]:
+    """Draw a population of observer profiles.
+
+    Sensitivities are log-normal around 1.0 with multiplicative spread
+    ``spread``; a ``sensitive_fraction`` of observers additionally get
+    their sensitivity multiplied by ``sensitive_factor``, modeling the
+    markedly color-sensitive individuals (the paper's visual-artist
+    participant) that population-average models miss.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if not 0 <= sensitive_fraction <= 1:
+        raise ValueError(f"sensitive_fraction must be in [0, 1], got {sensitive_fraction}")
+    sensitivities = np.exp(rng.normal(0.0, spread, size=count))
+    outliers = rng.random(count) < sensitive_fraction
+    sensitivities[outliers] *= sensitive_factor
+    return [
+        ObserverProfile(name=f"P{i + 1:02d}", sensitivity=float(s))
+        for i, s in enumerate(sensitivities)
+    ]
+
+
+def calibrated_model(
+    profile: ObserverProfile, base: DiscriminationModel | None = None
+) -> DiscriminationModel:
+    """Bind an observer profile to a discrimination model.
+
+    Returns the per-user ``Phi`` that a calibrated deployment would feed
+    the encoder.  Raises for CVD profiles: the encoder must be disabled
+    for them rather than run with an invalid model.
+    """
+    if profile.has_cvd:
+        raise ValueError(
+            f"observer {profile.name} has CVD; the discrimination model does not "
+            "apply — bypass the perceptual encoder instead (paper Sec. 6.5)"
+        )
+    return ScaledModel(base if base is not None else default_model(), profile.sensitivity)

@@ -1,0 +1,248 @@
+"""Ellipsoid geometry in linear-RGB space (paper Eq. 9-13).
+
+Discrimination ellipsoids are axis-aligned in DKL space but become
+general (rotated) ellipsoids after the linear map to RGB, so they must
+be handled as quadric surfaces.  With ``T = RGB_TO_DKL`` (DKL = T @ RGB)
+and DKL semi-axes ``(a, b, c)`` around DKL center ``kappa = T @ center``,
+the RGB-space surface is
+
+    (p - center)^T Q (p - center) = 1,      Q = T^T diag(1/a^2,..) T.
+
+This module provides, fully vectorized over batches of pixels:
+
+* the center-form matrix ``Q`` and the general quadric coefficients
+  ``A..I`` of the paper's Eq. 9 (both the raw polynomial and the paper's
+  Eq. 10 normalization with unit constant term);
+* per-channel extrema of an ellipsoid — the highest and lowest point
+  along R, G or B — via the closed form ``p = center +/- Q^{-1} e_k /
+  sqrt(e_k^T Q^{-1} e_k)``;
+* the paper's own extrema recipe (Eq. 11-13: cross product of tangent
+  planes, then line-ellipsoid intersection in DKL), retained as an
+  independent cross-check of the closed form.
+
+Channel indices follow numpy order: 0 = R, 1 = G, 2 = B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..color.dkl import DKL_TO_RGB, RGB_TO_DKL
+
+__all__ = [
+    "ChannelExtrema",
+    "quadric_matrix",
+    "quadric_coefficients",
+    "paper_normalized_coefficients",
+    "channel_halfwidth",
+    "channel_extrema",
+    "channel_extrema_paper",
+    "contains",
+    "mahalanobis",
+]
+
+_CHANNELS = (0, 1, 2)
+
+
+def _validate(centers, semi_axes):
+    c = np.asarray(centers, dtype=np.float64)
+    s = np.asarray(semi_axes, dtype=np.float64)
+    if c.shape[-1] != 3 or s.shape[-1] != 3:
+        raise ValueError(
+            f"centers and semi_axes need trailing axis 3, got {c.shape} and {s.shape}"
+        )
+    if c.shape != s.shape:
+        c, s = np.broadcast_arrays(c, s)
+        c = np.ascontiguousarray(c, dtype=np.float64)
+        s = np.ascontiguousarray(s, dtype=np.float64)
+    if s.size and s.min() <= 0:
+        raise ValueError("semi-axes must be strictly positive")
+    return c, s
+
+
+@dataclass(frozen=True)
+class ChannelExtrema:
+    """Extrema of ellipsoids along one RGB channel.
+
+    Attributes
+    ----------
+    low, high:
+        The lowest / highest surface points, shape ``(..., 3)``.  Both
+        are full RGB points; ``high[..., axis] - low[..., axis]`` is
+        twice the channel half-width.
+    displacement:
+        ``high - center`` — the "extrema vector" of the paper's Fig. 6
+        along which colors are moved.  ``low = center - displacement``
+        by central symmetry.
+    axis:
+        The channel that was extremized (0=R, 1=G, 2=B).
+    """
+
+    low: np.ndarray
+    high: np.ndarray
+    displacement: np.ndarray
+    axis: int
+
+
+def quadric_matrix(semi_axes) -> np.ndarray:
+    """Center-form quadric matrix ``Q`` in RGB space, batched.
+
+    ``Q`` depends only on the semi-axes (the center merely translates
+    the surface).  Returns shape ``(..., 3, 3)``.
+    """
+    s = np.asarray(semi_axes, dtype=np.float64)
+    if s.shape[-1] != 3:
+        raise ValueError(f"semi_axes needs trailing axis 3, got {s.shape}")
+    if s.size and s.min() <= 0:
+        raise ValueError("semi-axes must be strictly positive")
+    inv_sq = 1.0 / np.square(s)
+    # Q = T^T diag(inv_sq) T, batched over leading dims.
+    scaled = inv_sq[..., :, None] * RGB_TO_DKL
+    return np.swapaxes(np.broadcast_to(RGB_TO_DKL, scaled.shape), -1, -2) @ scaled
+
+
+def quadric_coefficients(centers, semi_axes) -> dict[str, np.ndarray]:
+    """Raw polynomial coefficients of the RGB-space quadric.
+
+    Expanding ``(p - c)^T Q (p - c) = 1`` gives
+
+        A x^2 + B y^2 + C z^2 + G xy + H yz + I zx
+        + D x + E y + F z + c0 = 0,
+
+    with ``c0 = c^T Q c - 1``.  Keys mirror the paper's Eq. 9 letters
+    plus ``"c0"``; each value has the batch's leading shape.  Unlike the
+    paper's normalized form this representation is valid even when the
+    ellipsoid contains the RGB origin.
+    """
+    c, s = _validate(centers, semi_axes)
+    q = quadric_matrix(s)
+    linear = -2.0 * np.einsum("...ij,...j->...i", q, c)
+    c0 = np.einsum("...i,...ij,...j->...", c, q, c) - 1.0
+    return {
+        "A": q[..., 0, 0],
+        "B": q[..., 1, 1],
+        "C": q[..., 2, 2],
+        "G": 2.0 * q[..., 0, 1],
+        "H": 2.0 * q[..., 1, 2],
+        "I": 2.0 * q[..., 0, 2],
+        "D": linear[..., 0],
+        "E": linear[..., 1],
+        "F": linear[..., 2],
+        "c0": c0,
+    }
+
+
+def paper_normalized_coefficients(centers, semi_axes) -> dict[str, np.ndarray]:
+    """Eq. 10 form of the quadric: coefficients scaled to a ``+1`` constant.
+
+    The paper divides the polynomial by ``-t`` with ``t = 1 - kappa^T S
+    kappa`` so the constant term is exactly 1.  That normalization is
+    undefined when the ellipsoid surface passes through the RGB origin
+    (``c0 == 0``); practical discrimination ellipsoids are tiny and far
+    from the origin so ``c0 > 0`` always holds, but we raise explicitly
+    rather than divide by ~0.
+    """
+    coeffs = quadric_coefficients(centers, semi_axes)
+    c0 = coeffs.pop("c0")
+    if np.any(np.abs(c0) < 1e-12):
+        raise ValueError(
+            "quadric constant term vanishes; the paper's Eq. 10 normalization "
+            "is undefined for ellipsoids through the RGB origin"
+        )
+    return {key: value / c0 for key, value in coeffs.items()}
+
+
+def channel_halfwidth(semi_axes, axis: int) -> np.ndarray:
+    """Half-width of the ellipsoid along one RGB channel.
+
+    Closed form: ``h_k = sqrt(sum_i s_i^2 * B[k, i]^2)`` with
+    ``B = DKL_TO_RGB``, since ``e_k^T Q^{-1} e_k = (B^T e_k)^T
+    diag(s^2) (B^T e_k)``.
+    """
+    if axis not in _CHANNELS:
+        raise ValueError(f"axis must be 0, 1 or 2, got {axis}")
+    s = np.asarray(semi_axes, dtype=np.float64)
+    if s.shape[-1] != 3:
+        raise ValueError(f"semi_axes needs trailing axis 3, got {s.shape}")
+    row = DKL_TO_RGB[axis]
+    return np.sqrt(np.square(s) @ np.square(row))
+
+
+def channel_extrema(centers, semi_axes, axis: int) -> ChannelExtrema:
+    """Highest and lowest ellipsoid points along an RGB channel.
+
+    Uses the Lagrange closed form ``displacement = Q^{-1} e_k /
+    sqrt(e_k^T Q^{-1} e_k)``; with ``Q^{-1} = B diag(s^2) B^T`` this
+    costs one scaled matmul per batch — no per-pixel solves.  The
+    displacement's own ``axis`` component equals the channel half-width
+    exactly, a property the unit tests rely on.
+    """
+    if axis not in _CHANNELS:
+        raise ValueError(f"axis must be 0, 1 or 2, got {axis}")
+    c, s = _validate(centers, semi_axes)
+    row = DKL_TO_RGB[axis]
+    weighted = np.square(s) * row  # diag(s^2) B^T e_k, batched
+    unnormalized = weighted @ DKL_TO_RGB.T  # B @ weighted per pixel
+    halfwidth = np.sqrt(weighted @ row)
+    displacement = unnormalized / halfwidth[..., None]
+    return ChannelExtrema(
+        low=c - displacement, high=c + displacement, displacement=displacement, axis=axis
+    )
+
+
+def channel_extrema_paper(centers, semi_axes, axis: int) -> ChannelExtrema:
+    """The paper's Eq. 11-13 extrema recipe, kept as a cross-check.
+
+    Steps: build the quadric (Eq. 9-10 without normalization — the
+    direction is scale invariant), intersect the two tangent-condition
+    planes to get the extrema direction ``v`` (Eq. 12 generalized to any
+    channel), convert ``v`` to DKL, scale it onto the ellipsoid (Eq.
+    13b) and map the two surface points back to RGB (Eq. 13c).
+    """
+    if axis not in _CHANNELS:
+        raise ValueError(f"axis must be 0, 1 or 2, got {axis}")
+    c, s = _validate(centers, semi_axes)
+    q = quadric_matrix(s)
+    others = [j for j in _CHANNELS if j != axis]
+    # Tangent-condition planes: rows `others` of 2M p + L = 0; their
+    # normals are rows of 2Q.  The constant offsets do not affect the
+    # direction of the intersection line.
+    n1 = 2.0 * q[..., others[0], :]
+    n2 = 2.0 * q[..., others[1], :]
+    v = np.cross(n1, n2)
+    # Eq. 13a: express the direction in DKL.
+    x = v @ RGB_TO_DKL.T
+    # Eq. 13b: scale so kappa +/- x*t lies on the axis-aligned ellipsoid.
+    t = 1.0 / np.sqrt(np.sum(np.square(x / s), axis=-1))
+    kappa = c @ RGB_TO_DKL.T
+    step = x * t[..., None]
+    high = (kappa + step) @ DKL_TO_RGB.T
+    low = (kappa - step) @ DKL_TO_RGB.T
+    # Orient so `high` really is the channel maximum (the cross product's
+    # sign is arbitrary).
+    flip = high[..., axis] < low[..., axis]
+    high_fixed = np.where(flip[..., None], low, high)
+    low_fixed = np.where(flip[..., None], high, low)
+    return ChannelExtrema(
+        low=low_fixed, high=high_fixed, displacement=high_fixed - c, axis=axis
+    )
+
+
+def mahalanobis(points, centers, semi_axes) -> np.ndarray:
+    """Ellipsoid-normalized distance of RGB points from ellipsoid centers.
+
+    Values ``<= 1`` mean the point is perceptually indistinguishable
+    from the center under the model.  This is the quantity the encoder
+    guarantees to keep at most 1 and the simulated observers threshold.
+    """
+    p = np.asarray(points, dtype=np.float64)
+    c, s = _validate(centers, semi_axes)
+    delta_dkl = (p - c) @ RGB_TO_DKL.T
+    return np.sqrt(np.sum(np.square(delta_dkl / s), axis=-1))
+
+
+def contains(points, centers, semi_axes, tolerance: float = 1e-9) -> np.ndarray:
+    """Boolean mask: is each point inside (or on) its ellipsoid?"""
+    return mahalanobis(points, centers, semi_axes) <= 1.0 + tolerance

@@ -1,0 +1,134 @@
+"""Discrimination-ellipsoid models: the ``Phi`` of the paper's Eq. 3.
+
+Two interchangeable implementations are provided:
+
+* :class:`ParametricModel` — wraps the closed-form law directly; fast
+  and exact, the default for large experiments.
+* :class:`RBFModel` — a Gaussian RBF network fitted to the law,
+  mirroring the paper's deployment (Sec. 2.1) where ``Phi`` runs as an
+  RBF network on the GPU.  Tests assert it tracks the law closely, so
+  the two are interchangeable in the encoder.
+
+Both expose ``semi_axes(rgb, eccentricity_deg) -> (..., 3)`` returning
+DKL-space semi-axis lengths.  :class:`ScaledModel` applies a global
+sensitivity factor, the mechanism behind per-user calibration
+(paper Sec. 6.5) and the simulated-observer study (Sec. 6.3).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from .law import EllipsoidLawParameters, ParametricEllipsoidLaw
+from .rbf import RBFNetwork
+
+__all__ = [
+    "DiscriminationModel",
+    "ParametricModel",
+    "RBFModel",
+    "ScaledModel",
+    "default_model",
+]
+
+
+@runtime_checkable
+class DiscriminationModel(Protocol):
+    """Anything that maps (color, eccentricity) to DKL semi-axes."""
+
+    def semi_axes(self, rgb, eccentricity_deg) -> np.ndarray:
+        """Return DKL semi-axes ``(..., 3)`` for linear-RGB colors."""
+        ...
+
+
+class ParametricModel:
+    """Direct evaluation of the parametric discrimination law."""
+
+    def __init__(self, params: EllipsoidLawParameters | None = None):
+        self.law = ParametricEllipsoidLaw(params)
+
+    def semi_axes(self, rgb, eccentricity_deg) -> np.ndarray:
+        return self.law(rgb, eccentricity_deg)
+
+
+class RBFModel:
+    """RBF-network approximation of the discrimination law.
+
+    The network takes the 4-vector ``(R, G, B, eccentricity)`` and
+    predicts the three semi-axes, scaled internally by ``1e5`` so the
+    regression operates on O(1) targets.  Negative predictions (possible
+    at the domain boundary of any smooth approximator) are clamped to
+    the law's minimum semi-axis.
+    """
+
+    _TARGET_SCALE = 1e5
+
+    def __init__(
+        self,
+        params: EllipsoidLawParameters | None = None,
+        n_train: int = 6000,
+        seed: int = 2024,
+        grid_counts: tuple[int, int, int, int] = (4, 4, 4, 5),
+        bandwidth: float = 0.55,
+    ):
+        self.law = ParametricEllipsoidLaw(params)
+        rng = np.random.default_rng(seed)
+        colors, ecc, axes = self.law.training_samples(n_train, rng)
+        inputs = np.column_stack([colors, ecc])
+        max_ecc = self.law.params.max_eccentricity
+        centers = RBFNetwork.grid_centers(
+            [(0.0, 1.0)] * 3 + [(0.0, max_ecc)], grid_counts
+        )
+        self.network = RBFNetwork(
+            centers, bandwidth=bandwidth, input_scale=[1.0, 1.0, 1.0, max_ecc]
+        )
+        self.network.fit(inputs, axes * self._TARGET_SCALE, ridge=1e-6)
+
+    def semi_axes(self, rgb, eccentricity_deg) -> np.ndarray:
+        colors = np.asarray(rgb, dtype=np.float64)
+        if colors.shape[-1] != 3:
+            raise ValueError(f"rgb must have trailing axis 3, got {colors.shape}")
+        lead_shape = colors.shape[:-1]
+        ecc = np.broadcast_to(
+            np.asarray(eccentricity_deg, dtype=np.float64), lead_shape
+        )
+        flat = np.column_stack([colors.reshape(-1, 3), ecc.reshape(-1)])
+        predicted = self.network.predict(flat) / self._TARGET_SCALE
+        predicted = np.maximum(predicted, ParametricEllipsoidLaw.MIN_SEMI_AXIS)
+        return predicted.reshape(*lead_shape, 3)
+
+
+class ScaledModel:
+    """Wrap a model, scaling every semi-axis by a sensitivity factor.
+
+    ``factor < 1`` models a more sensitive observer (smaller ellipsoids,
+    e.g. the paper's "visual artist" participant); ``factor > 1`` a less
+    sensitive one.  Also the hook for per-user calibration: a calibrated
+    deployment simply swaps in the user's factor (paper Sec. 6.5).
+    """
+
+    def __init__(self, base: DiscriminationModel, factor: float):
+        if factor <= 0:
+            raise ValueError(f"sensitivity factor must be positive, got {factor}")
+        self.base = base
+        self.factor = float(factor)
+
+    def semi_axes(self, rgb, eccentricity_deg) -> np.ndarray:
+        return self.base.semi_axes(rgb, eccentricity_deg) * self.factor
+
+
+_DEFAULT_CACHE: dict[str, DiscriminationModel] = {}
+
+
+def default_model(kind: str = "parametric") -> DiscriminationModel:
+    """Return a cached default discrimination model.
+
+    ``kind`` is ``"parametric"`` (fast closed form, default) or
+    ``"rbf"`` (the paper-faithful network; fitted once and cached).
+    """
+    if kind not in ("parametric", "rbf"):
+        raise ValueError(f"unknown model kind {kind!r}; expected 'parametric' or 'rbf'")
+    if kind not in _DEFAULT_CACHE:
+        _DEFAULT_CACHE[kind] = ParametricModel() if kind == "parametric" else RBFModel()
+    return _DEFAULT_CACHE[kind]

@@ -1,0 +1,170 @@
+"""Synthetic gaze traces and gaze prediction.
+
+The paper's user study attributed some reported artifacts to "rendering
+lag or slow gaze detection" during rapid eye movement (Sec. 6.3).  To
+study — and mitigate — that effect, this module provides:
+
+* :func:`saccade_trace` — a synthetic eye-movement trace alternating
+  fixations with ballistic saccades (the standard two-state model of
+  free viewing);
+* :class:`LastSamplePredictor` / :class:`LinearPredictor` — what the
+  encoder believes the gaze is, given a tracker latency: either the
+  stale last sample, or a constant-velocity extrapolation from the two
+  most recent samples (what real eye-tracked headsets ship).
+
+The predictors expose a known subtlety the tests document: velocity
+extrapolation reduces error *during* an ongoing saccade but overshoots
+at saccade endings, so at saccade-scale latencies its whole-trace
+average is no better than the stale sample — gaze prediction is
+genuinely hard, which is why the paper's participants could see
+artifacts under rapid eye movement at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "GazeSample",
+    "saccade_trace",
+    "LastSamplePredictor",
+    "LinearPredictor",
+]
+
+
+@dataclass(frozen=True)
+class GazeSample:
+    """One gaze-tracker sample: time and normalized fixation point."""
+
+    time_s: float
+    x: float
+    y: float
+
+    def clamped(self) -> "GazeSample":
+        return GazeSample(
+            self.time_s, float(np.clip(self.x, 0.0, 1.0)), float(np.clip(self.y, 0.0, 1.0))
+        )
+
+
+def saccade_trace(
+    duration_s: float,
+    sample_rate_hz: float = 120.0,
+    rng: np.random.Generator | None = None,
+    fixation_mean_s: float = 0.35,
+    saccade_duration_s: float = 0.05,
+) -> list[GazeSample]:
+    """Generate a fixation/saccade gaze trace in normalized coordinates.
+
+    Fixations hold a point (with tiny tremor) for an exponentially
+    distributed duration, then a ballistic saccade moves to a new
+    uniform target over ``saccade_duration_s`` following a smooth
+    minimum-jerk profile — the standard kinematics of free viewing.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    if sample_rate_hz <= 0:
+        raise ValueError(f"sample_rate_hz must be positive, got {sample_rate_hz}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    dt = 1.0 / sample_rate_hz
+    samples: list[GazeSample] = []
+    time = 0.0
+    position = np.array([0.5, 0.5])
+    while time < duration_s:
+        # Fixation with micro-tremor.
+        hold = rng.exponential(fixation_mean_s)
+        end = min(time + hold, duration_s)
+        while time < end:
+            tremor = rng.normal(0.0, 0.002, 2)
+            samples.append(
+                GazeSample(time, *(position + tremor)).clamped()
+            )
+            time += dt
+        if time >= duration_s:
+            break
+        # Ballistic saccade to a new target (minimum-jerk profile).
+        target = rng.uniform(0.1, 0.9, 2)
+        start = position.copy()
+        saccade_end = min(time + saccade_duration_s, duration_s)
+        saccade_start = time
+        while time < saccade_end:
+            progress = (time - saccade_start) / saccade_duration_s
+            smooth = progress**3 * (10 - 15 * progress + 6 * progress**2)
+            point = start + (target - start) * min(smooth, 1.0)
+            samples.append(GazeSample(time, *point).clamped())
+            time += dt
+        position = target
+    return samples
+
+
+class LastSamplePredictor:
+    """Gaze estimate = the most recent sample older than the latency."""
+
+    def predict(self, trace: list[GazeSample], now_s: float, latency_s: float):
+        """Return the (x, y) the encoder would use at time ``now_s``."""
+        if latency_s < 0:
+            raise ValueError(f"latency_s must be >= 0, got {latency_s}")
+        visible = [s for s in trace if s.time_s <= now_s - latency_s]
+        if not visible:
+            return (0.5, 0.5)
+        last = visible[-1]
+        return (last.x, last.y)
+
+
+class LinearPredictor:
+    """Velocity extrapolation with saccade gating.
+
+    Velocity is estimated over a ``velocity_window_s`` span (not
+    adjacent samples — fixation tremor would dominate) and only applied
+    when it exceeds ``min_speed`` — the saccade-detection deadband real
+    eye trackers use; during fixations the predictor degrades
+    gracefully to the last sample.  Extrapolation is capped at
+    ``max_extrapolation_s``.
+    """
+
+    def __init__(
+        self,
+        max_extrapolation_s: float = 0.1,
+        velocity_window_s: float = 0.025,
+        min_speed: float = 0.5,
+    ):
+        if max_extrapolation_s < 0:
+            raise ValueError("max_extrapolation_s must be >= 0")
+        if velocity_window_s <= 0:
+            raise ValueError("velocity_window_s must be positive")
+        if min_speed < 0:
+            raise ValueError("min_speed must be >= 0")
+        self.max_extrapolation_s = max_extrapolation_s
+        self.velocity_window_s = velocity_window_s
+        self.min_speed = min_speed
+
+    def predict(self, trace: list[GazeSample], now_s: float, latency_s: float):
+        if latency_s < 0:
+            raise ValueError(f"latency_s must be >= 0, got {latency_s}")
+        visible = [s for s in trace if s.time_s <= now_s - latency_s]
+        if not visible:
+            return (0.5, 0.5)
+        last = visible[-1]
+        if len(visible) == 1:
+            return (last.x, last.y)
+        # Reference sample one velocity window back (or the oldest).
+        cutoff = last.time_s - self.velocity_window_s
+        reference = visible[0]
+        for sample in reversed(visible[:-1]):
+            if sample.time_s <= cutoff:
+                reference = sample
+                break
+        dt = last.time_s - reference.time_s
+        if dt <= 0:
+            return (last.x, last.y)
+        vx = (last.x - reference.x) / dt
+        vy = (last.y - reference.y) / dt
+        if np.hypot(vx, vy) < self.min_speed:
+            return (last.x, last.y)  # fixation: do not amplify tremor
+        horizon = min(now_s - last.time_s, self.max_extrapolation_s)
+        return (
+            float(np.clip(last.x + vx * horizon, 0.0, 1.0)),
+            float(np.clip(last.y + vy * horizon, 0.0, 1.0)),
+        )

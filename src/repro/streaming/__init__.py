@@ -1,0 +1,14 @@
+"""Remote-rendering streaming substrate (paper Sec. 2.2, Fig. 3)."""
+
+from .link import WIFI6_LINK, WIGIG_LINK, WirelessLink
+from .session import ENCODER_CHOICES, FrameTiming, SessionReport, simulate_session
+
+__all__ = [
+    "WIFI6_LINK",
+    "WIGIG_LINK",
+    "WirelessLink",
+    "ENCODER_CHOICES",
+    "FrameTiming",
+    "SessionReport",
+    "simulate_session",
+]

@@ -1,0 +1,82 @@
+"""Wireless link model for remote VR rendering (paper Sec. 2.2, Fig. 3).
+
+The paper's traffic taxonomy includes the wireless path between a
+rendering server (cloud or nearby base station) and the headset, and
+notes that its compression scheme also applies "in scenarios where
+remotely rendered frames are transmitted one by one (rather than as a
+video)".  This module models that link at frame granularity:
+
+    transmit_time = payload_bits / bandwidth  +  propagation delay
+
+with optional jitter, so the remote-rendering session simulator can
+turn encoded-frame sizes into motion-to-photon latency and achievable
+frame rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WirelessLink", "WIFI6_LINK", "WIGIG_LINK"]
+
+
+@dataclass(frozen=True)
+class WirelessLink:
+    """A point-to-point wireless link.
+
+    Attributes
+    ----------
+    bandwidth_mbps:
+        Effective (post-MAC) throughput in megabits per second.
+    propagation_ms:
+        One-way propagation plus fixed protocol delay, milliseconds.
+    jitter_ms:
+        Standard deviation of a truncated-Gaussian per-frame delay
+        jitter.  Zero gives a deterministic link.
+    """
+
+    bandwidth_mbps: float
+    propagation_ms: float = 2.0
+    jitter_ms: float = 0.0
+
+    def __post_init__(self):
+        if self.bandwidth_mbps <= 0:
+            raise ValueError(f"bandwidth_mbps must be positive, got {self.bandwidth_mbps}")
+        if self.propagation_ms < 0:
+            raise ValueError(f"propagation_ms must be >= 0, got {self.propagation_ms}")
+        if self.jitter_ms < 0:
+            raise ValueError(f"jitter_ms must be >= 0, got {self.jitter_ms}")
+
+    def serialization_time_s(self, payload_bits: int) -> float:
+        """Time to push a payload onto the air."""
+        if payload_bits < 0:
+            raise ValueError(f"payload_bits must be >= 0, got {payload_bits}")
+        return payload_bits / (self.bandwidth_mbps * 1e6)
+
+    def transmit_time_s(
+        self, payload_bits: int, rng: np.random.Generator | None = None
+    ) -> float:
+        """Total one-way latency for a payload, with optional jitter."""
+        base = self.serialization_time_s(payload_bits) + self.propagation_ms * 1e-3
+        if self.jitter_ms > 0 and rng is not None:
+            base += abs(float(rng.normal(0.0, self.jitter_ms))) * 1e-3
+        return base
+
+    def sustainable_fps(self, payload_bits: int) -> float:
+        """Frame rate the link alone can sustain for this payload size.
+
+        Serialization is the recurring cost; propagation pipelines away.
+        """
+        serialization = self.serialization_time_s(payload_bits)
+        if serialization == 0:
+            return float("inf")
+        return 1.0 / serialization
+
+
+#: A realistic effective Wi-Fi 6 link for untethered streaming.
+WIFI6_LINK = WirelessLink(bandwidth_mbps=400.0, propagation_ms=3.0)
+
+#: A 60 GHz (WiGig-class) link, the tethered-quality wireless option.
+WIGIG_LINK = WirelessLink(bandwidth_mbps=1800.0, propagation_ms=1.5)

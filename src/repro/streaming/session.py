@@ -1,0 +1,162 @@
+"""Frame-by-frame remote-rendering session simulator (paper Sec. 2.2).
+
+Models the client-cloud split the paper situates itself next to
+(Furion, EVR, and friends): a server renders each stereo frame,
+compresses it, and ships it over a wireless link; the headset decodes
+and displays.  The perceptual encoder slots in exactly where it does
+on-device — in front of BD — and the simulator measures what that buys
+end to end:
+
+* per-frame payload and motion-to-photon latency,
+* the frame rate the link can sustain,
+* whether a target refresh rate is met.
+
+Video codecs are out of scope by the paper's own argument (they buffer
+frame sequences, violating the per-frame latency requirement), so the
+comparison set is per-frame codecs: raw, BD, and perceptual+BD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..color.srgb import encode_srgb8
+from ..core.pipeline import PerceptualEncoder
+from ..encoding.accounting import UNCOMPRESSED_BPP
+from ..encoding.bd import bd_breakdown
+from ..encoding.tiling import tile_frame
+from ..scenes.display import QUEST2_DISPLAY, DisplayGeometry
+from ..scenes.library import Scene
+from .link import WirelessLink
+
+__all__ = ["FrameTiming", "SessionReport", "simulate_session", "ENCODER_CHOICES"]
+
+#: Valid per-frame encoder choices for a session.
+ENCODER_CHOICES = ("raw", "bd", "perceptual")
+
+
+@dataclass(frozen=True)
+class FrameTiming:
+    """Timing of one stereo frame through the remote pipeline."""
+
+    frame_index: int
+    payload_bits: int
+    encode_time_s: float
+    serialization_time_s: float
+    transmit_time_s: float
+
+    @property
+    def motion_to_photon_s(self) -> float:
+        """Render-to-display latency contribution of encode + link.
+
+        (Server render time and display scan-out are common to all
+        encoders and excluded, as the comparison is between encoders.)
+        """
+        return self.encode_time_s + self.transmit_time_s
+
+
+@dataclass(frozen=True)
+class SessionReport:
+    """Aggregate outcome of a simulated streaming session."""
+
+    encoder: str
+    frames: list[FrameTiming]
+    target_fps: float
+
+    @property
+    def mean_payload_bits(self) -> float:
+        return float(np.mean([f.payload_bits for f in self.frames]))
+
+    @property
+    def mean_latency_s(self) -> float:
+        return float(np.mean([f.motion_to_photon_s for f in self.frames]))
+
+    @property
+    def sustainable_fps(self) -> float:
+        """Rate limited by the link's serialization of the mean payload.
+
+        Propagation delay pipelines away across frames, so only the
+        time each payload occupies the air bounds the frame rate.
+        """
+        mean_serialization = float(
+            np.mean([f.serialization_time_s for f in self.frames])
+        )
+        return 1.0 / mean_serialization if mean_serialization > 0 else float("inf")
+
+    @property
+    def meets_target(self) -> bool:
+        return self.sustainable_fps >= self.target_fps
+
+
+def _encode_payload_bits(
+    encoder_name: str,
+    frame_linear: np.ndarray,
+    eccentricity: np.ndarray,
+    perceptual: PerceptualEncoder,
+    tile_size: int,
+) -> int:
+    if encoder_name == "raw":
+        return int(UNCOMPRESSED_BPP) * frame_linear.shape[0] * frame_linear.shape[1]
+    if encoder_name == "bd":
+        tiles, grid = tile_frame(encode_srgb8(frame_linear), tile_size)
+        return bd_breakdown(tiles, n_pixels=grid.height * grid.width).total_bits
+    if encoder_name == "perceptual":
+        return perceptual.encode_frame(frame_linear, eccentricity).breakdown.total_bits
+    raise ValueError(f"unknown encoder {encoder_name!r}; expected one of {ENCODER_CHOICES}")
+
+
+def simulate_session(
+    scene: Scene,
+    link: WirelessLink,
+    encoder: str = "perceptual",
+    n_frames: int = 4,
+    height: int = 192,
+    width: int = 192,
+    target_fps: float = 72.0,
+    display: DisplayGeometry = QUEST2_DISPLAY,
+    perceptual_encoder: PerceptualEncoder | None = None,
+    encode_throughput_mpixels_s: float = 500.0,
+    seed: int = 0,
+) -> SessionReport:
+    """Stream ``n_frames`` stereo frames of a scene over a link.
+
+    ``encode_throughput_mpixels_s`` models the server-side encoder
+    rate (a hardware CAU + BD block easily exceeds this; the value only
+    matters relative to transmission).  Gaze is centered; per-eye
+    sub-frames are encoded independently and share one transmission.
+    """
+    if encoder not in ENCODER_CHOICES:
+        raise ValueError(f"unknown encoder {encoder!r}; expected one of {ENCODER_CHOICES}")
+    if n_frames <= 0:
+        raise ValueError(f"n_frames must be positive, got {n_frames}")
+    if target_fps <= 0:
+        raise ValueError(f"target_fps must be positive, got {target_fps}")
+    if encode_throughput_mpixels_s <= 0:
+        raise ValueError("encode_throughput_mpixels_s must be positive")
+
+    perceptual = perceptual_encoder if perceptual_encoder is not None else PerceptualEncoder()
+    eccentricity = display.eccentricity_map(height, width)
+    rng = np.random.default_rng(seed)
+    encode_rate_pixels_s = encode_throughput_mpixels_s * 1e6
+
+    frames = []
+    for index in range(n_frames):
+        left, right = scene.render_stereo(height, width, frame=index)
+        payload = sum(
+            _encode_payload_bits(encoder, eye, eccentricity, perceptual, perceptual.tile_size)
+            for eye in (left, right)
+        )
+        encode_time = 2 * height * width / encode_rate_pixels_s
+        transmit_time = link.transmit_time_s(payload, rng=rng)
+        frames.append(
+            FrameTiming(
+                frame_index=index,
+                payload_bits=payload,
+                encode_time_s=encode_time,
+                serialization_time_s=link.serialization_time_s(payload),
+                transmit_time_s=transmit_time,
+            )
+        )
+    return SessionReport(encoder=encoder, frames=frames, target_fps=target_fps)

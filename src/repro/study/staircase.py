@@ -1,0 +1,179 @@
+"""Per-user threshold calibration by adaptive staircase (paper Sec. 6.5).
+
+The paper proposes building a per-user ellipsoid model with "a per-user
+color calibration procedure ... laid out in prior work", analogous to
+the IPD adjustment every headset already does.  This module implements
+that procedure against our simulated observers:
+
+* each trial shows a reference color and a probe displaced along a
+  random ellipsoid direction by ``intensity`` times the *population*
+  threshold; the observer answers whether they can tell them apart
+  (2AFC with lapse/guess rates);
+* a transformed 2-down-1-up staircase adapts the intensity, converging
+  on the observer's ~70.7%-correct point;
+* the mean of the final reversals estimates the observer's personal
+  sensitivity factor, which :func:`repro.perception.calibration.
+  calibrated_model` turns into their encoder model.
+
+A 2-down-1-up staircase converges on the ~70.7%-correct intensity, not
+the 50% threshold itself, so the estimator divides the reversal mean by
+the analytically known offset of that convergence point on the
+psychometric function.  The whole loop is deterministic given its RNG,
+and tests verify the procedure recovers known sensitivities to within
+~20% — the accuracy regime real QUEST-style calibrations achieve in a
+few dozen trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..perception.calibration import ObserverProfile
+
+__all__ = ["StaircaseConfig", "CalibrationRun", "run_staircase", "calibrate_profile"]
+
+
+@dataclass(frozen=True)
+class StaircaseConfig:
+    """Parameters of the 2-down-1-up calibration staircase."""
+
+    initial_intensity: float = 2.0
+    step_up: float = 1.25
+    step_down: float = 1.25
+    n_reversals: int = 12
+    discard_reversals: int = 4
+    max_trials: int = 200
+    lapse_rate: float = 0.02
+    guess_rate: float = 0.02
+    slope: float = 6.0
+
+    def __post_init__(self):
+        if self.initial_intensity <= 0:
+            raise ValueError("initial_intensity must be positive")
+        if self.step_up <= 1.0 or self.step_down <= 1.0:
+            raise ValueError("staircase steps must be > 1 (multiplicative)")
+        if self.n_reversals <= self.discard_reversals:
+            raise ValueError("need more reversals than are discarded")
+        if not 0 <= self.lapse_rate < 0.5 or not 0 <= self.guess_rate < 0.5:
+            raise ValueError("lapse/guess rates must be in [0, 0.5)")
+
+
+@dataclass
+class CalibrationRun:
+    """Trace and outcome of one staircase run."""
+
+    intensities: list[float] = field(default_factory=list)
+    responses: list[bool] = field(default_factory=list)
+    reversal_intensities: list[float] = field(default_factory=list)
+    estimated_sensitivity: float = float("nan")
+    converged: bool = False
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.intensities)
+
+
+def _detection_probability(
+    intensity: float, sensitivity: float, config: StaircaseConfig
+) -> float:
+    """Psychometric function of a simulated observer in a trial.
+
+    The observer's true threshold sits at ``intensity == sensitivity``
+    (a displacement of exactly their personal ellipsoid).  A Weibull-
+    like logistic in log-intensity gives the standard sigmoid shape;
+    lapse and guess rates bound it away from 0 and 1.
+    """
+    log_ratio = np.log(max(intensity, 1e-9) / sensitivity)
+    core = 1.0 / (1.0 + np.exp(-config.slope * log_ratio))
+    return config.guess_rate + (1.0 - config.guess_rate - config.lapse_rate) * core
+
+
+def run_staircase(
+    profile: ObserverProfile,
+    rng: np.random.Generator,
+    config: StaircaseConfig | None = None,
+) -> CalibrationRun:
+    """Run a 2-down-1-up staircase against a simulated observer.
+
+    Returns the full trial trace plus the sensitivity estimate (the
+    mean of the retained reversal intensities).  ``converged`` is False
+    if the trial budget ran out before enough reversals accumulated —
+    the estimate is still reported from whatever reversals exist.
+    """
+    config = config or StaircaseConfig()
+    run = CalibrationRun()
+    intensity = config.initial_intensity
+    consecutive_correct = 0
+    direction = 0  # -1 going down, +1 going up
+
+    while (
+        len(run.reversal_intensities) < config.n_reversals
+        and run.n_trials < config.max_trials
+    ):
+        p = _detection_probability(intensity, profile.sensitivity, config)
+        detected = bool(rng.random() < p)
+        run.intensities.append(intensity)
+        run.responses.append(detected)
+
+        if detected:
+            consecutive_correct += 1
+            if consecutive_correct >= 2:
+                consecutive_correct = 0
+                if direction == 1:
+                    run.reversal_intensities.append(intensity)
+                direction = -1
+                intensity /= config.step_down
+        else:
+            consecutive_correct = 0
+            if direction == -1:
+                run.reversal_intensities.append(intensity)
+            direction = 1
+            intensity *= config.step_up
+
+    retained = run.reversal_intensities[config.discard_reversals :]
+    if retained:
+        raw_estimate = float(np.exp(np.mean(np.log(retained))))
+    elif run.reversal_intensities:
+        raw_estimate = float(np.exp(np.mean(np.log(run.reversal_intensities))))
+    else:
+        raw_estimate = intensity
+    run.estimated_sensitivity = raw_estimate / _convergence_offset(config)
+    run.converged = len(run.reversal_intensities) >= config.n_reversals
+    return run
+
+
+def _convergence_offset(config: StaircaseConfig) -> float:
+    """Known bias of a 2-down-1-up staircase on our psychometric curve.
+
+    The staircase equilibrates where p(detect)^2 = 0.5, i.e. p =
+    sqrt(0.5) ~= 70.7%.  On the logistic-in-log-intensity curve that
+    point sits ``exp(logit(core)/slope)`` above the true threshold,
+    where ``core`` maps the target probability back through the
+    guess/lapse bounds.  Dividing the reversal mean by this factor
+    de-biases the estimate.
+    """
+    target = np.sqrt(0.5)
+    core = (target - config.guess_rate) / (1.0 - config.guess_rate - config.lapse_rate)
+    core = float(np.clip(core, 1e-6, 1 - 1e-6))
+    return float(np.exp(np.log(core / (1.0 - core)) / config.slope))
+
+
+def calibrate_profile(
+    profile: ObserverProfile,
+    rng: np.random.Generator,
+    config: StaircaseConfig | None = None,
+) -> ObserverProfile:
+    """Produce the *calibrated* profile a deployment would store.
+
+    Runs the staircase and returns a new profile whose sensitivity is
+    the staircase estimate — the value the encoder's per-user model
+    would be built from (Sec. 6.5).
+    """
+    run = run_staircase(profile, rng, config)
+    return ObserverProfile(
+        name=f"{profile.name}-calibrated",
+        sensitivity=run.estimated_sensitivity,
+        has_cvd=profile.has_cvd,
+    )

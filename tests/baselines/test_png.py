@@ -1,0 +1,120 @@
+"""Tests for the PNG-class lossless codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.png_codec import (
+    FILTER_NAMES,
+    png_compressed_bits,
+    png_decode,
+    png_encode,
+    png_filter_rows,
+    png_unfilter_rows,
+)
+from repro.color.srgb import encode_srgb8
+from repro.scenes.library import render_scene
+
+
+class TestFiltering:
+    def test_round_trip_random(self, rng):
+        frame = rng.integers(0, 256, (10, 12, 3), dtype=np.uint8)
+        filter_ids, filtered = png_filter_rows(frame)
+        assert np.array_equal(
+            png_unfilter_rows(filter_ids, filtered, frame.shape), frame
+        )
+
+    def test_each_filter_mode_invertible(self, rng):
+        """Force every filter id and verify unfiltering inverts it."""
+        frame = rng.integers(0, 256, (6, 8, 3), dtype=np.uint8)
+        rows = frame.reshape(6, 24).astype(np.int16)
+        for mode in range(5):
+            # Build the filtered rows by hand for this single mode.
+            import repro.baselines.png_codec as png
+
+            filtered = np.empty((6, 24), dtype=np.uint8)
+            previous = np.zeros(24, dtype=np.int16)
+            for y in range(6):
+                row = rows[y]
+                left = png._shift_left(row, 3)
+                upleft = png._shift_left(previous, 3)
+                candidates = (
+                    row,
+                    row - left,
+                    row - previous,
+                    row - (left + previous) // 2,
+                    row - png._paeth_predictor(left, previous, upleft),
+                )
+                filtered[y] = (np.asarray(candidates[mode], dtype=np.int16) & 0xFF).astype(np.uint8)
+                previous = row
+            ids = np.full(6, mode, dtype=np.uint8)
+            assert np.array_equal(
+                png_unfilter_rows(ids, filtered, frame.shape), frame
+            ), FILTER_NAMES[mode]
+
+    def test_constant_rows_choose_cheap_filter(self):
+        frame = np.full((4, 8, 3), 100, dtype=np.uint8)
+        filter_ids, filtered = png_filter_rows(frame)
+        # After the first row (which has no 'up' context), differencing
+        # maps constant content to all zeros.
+        assert np.abs(filtered[1:].astype(np.int8)).sum() == 0
+
+    def test_rejects_float_frame(self):
+        with pytest.raises(ValueError, match="uint8"):
+            png_filter_rows(np.zeros((4, 4, 3)))
+
+    def test_unfilter_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="do not match"):
+            png_unfilter_rows(np.zeros(2, np.uint8), np.zeros((2, 5), np.uint8), (2, 4, 3))
+
+
+class TestCodec:
+    def test_round_trip_scene(self):
+        frame = encode_srgb8(render_scene("thai", 24, 24))
+        assert np.array_equal(png_decode(png_encode(frame)), frame)
+
+    def test_round_trip_extremes(self):
+        for value in (0, 255):
+            frame = np.full((8, 8, 3), value, dtype=np.uint8)
+            assert np.array_equal(png_decode(png_encode(frame)), frame)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_round_trip_property(self, height, width):
+        rng = np.random.default_rng(height * 31 + width)
+        frame = rng.integers(0, 256, (height, width, 3), dtype=np.uint8)
+        assert np.array_equal(png_decode(png_encode(frame)), frame)
+
+    def test_corrupt_payload_rejected(self):
+        frame = np.zeros((4, 4, 3), dtype=np.uint8)
+        encoded = png_encode(frame)
+        import zlib
+
+        from repro.baselines.png_codec import PNGEncoded
+
+        bad = PNGEncoded(payload=zlib.compress(b"too short"), shape=encoded.shape)
+        with pytest.raises(ValueError, match="corrupt"):
+            png_decode(bad)
+
+    def test_smooth_compresses_better_than_noise(self, rng):
+        gradient = np.broadcast_to(
+            (np.arange(32, dtype=np.uint8) * 4)[:, None, None], (32, 32, 3)
+        ).copy()
+        noise = rng.integers(0, 256, (32, 32, 3), dtype=np.uint8)
+        assert png_compressed_bits(gradient) < png_compressed_bits(noise) / 3
+
+    def test_bits_accounting(self):
+        frame = np.zeros((4, 4, 3), dtype=np.uint8)
+        encoded = png_encode(frame)
+        assert encoded.total_bits == len(encoded.payload) * 8 + 40
+        assert png_compressed_bits(frame) == encoded.total_bits
+
+    def test_compression_level_affects_size_monotonically(self, rng):
+        frame = encode_srgb8(render_scene("office", 32, 32))
+        fast = png_compressed_bits(frame, level=1)
+        best = png_compressed_bits(frame, level=9)
+        assert best <= fast

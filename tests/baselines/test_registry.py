@@ -1,0 +1,59 @@
+"""Tests for the baseline dispatch registry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import (
+    BASELINE_NAMES,
+    baseline_bits,
+    bd_bits,
+    nocom_bits,
+    scc_bits,
+)
+from repro.color.srgb import encode_srgb8
+from repro.scenes.library import render_scene
+
+
+@pytest.fixture(scope="module")
+def scene_srgb():
+    return encode_srgb8(render_scene("office", 32, 32))
+
+
+class TestDispatch:
+    def test_all_names_dispatch(self, scene_srgb):
+        for name in BASELINE_NAMES:
+            assert baseline_bits(name, scene_srgb) > 0
+
+    def test_unknown_name(self, scene_srgb):
+        with pytest.raises(ValueError, match="unknown baseline"):
+            baseline_bits("JPEG", scene_srgb)
+
+    def test_rejects_float_frames(self):
+        with pytest.raises(TypeError, match="uint8"):
+            baseline_bits("BD", np.zeros((8, 8, 3)))
+
+
+class TestValues:
+    def test_nocom_is_24_bpp(self, scene_srgb):
+        assert nocom_bits(scene_srgb) == 24 * 32 * 32
+
+    def test_scc_constant_per_pixel(self, scene_srgb):
+        bits = scc_bits(scene_srgb)
+        assert bits % (32 * 32) == 0
+
+    def test_bd_beats_nocom_on_scene(self, scene_srgb):
+        assert bd_bits(scene_srgb) < nocom_bits(scene_srgb)
+
+    def test_expected_ordering_on_scene(self, scene_srgb):
+        """The paper's Fig. 10 ordering on natural content."""
+        values = {name: baseline_bits(name, scene_srgb) for name in BASELINE_NAMES}
+        assert values["BD"] < values["SCC"] < values["NoCom"]
+
+    def test_bd_tile_size_parameter(self, scene_srgb):
+        small = bd_bits(scene_srgb, tile_size=4)
+        large = bd_bits(scene_srgb, tile_size=16)
+        assert small != large
+
+    def test_pixel_count_validation(self):
+        with pytest.raises(ValueError, match=r"\(H, W, 3\)"):
+            nocom_bits(np.zeros((8, 8), dtype=np.uint8))

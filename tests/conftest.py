@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perception.model import ParametricModel
+from repro.scenes.display import QUEST2_DISPLAY
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic per-test random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def model() -> ParametricModel:
+    """The default parametric discrimination model."""
+    return ParametricModel()
+
+
+@pytest.fixture(scope="session")
+def ecc_map_64() -> np.ndarray:
+    """Centered-gaze eccentricity map for 64x64 frames."""
+    return QUEST2_DISPLAY.eccentricity_map(64, 64)
+
+
+@pytest.fixture
+def smooth_frame(rng) -> np.ndarray:
+    """A gently varying linear-RGB frame that BD compresses well."""
+    ys = np.linspace(0.2, 0.6, 64)[:, None, None]
+    xs = np.linspace(0.0, 0.2, 64)[None, :, None]
+    base = ys + xs * np.array([1.0, 0.5, 0.25])
+    return np.clip(base + rng.normal(0, 0.004, (64, 64, 3)), 0.0, 1.0)
+
+
+def random_tiles(rng, n_tiles=20, pixels=16, low=0.2, high=0.8):
+    """Helper: random linear-RGB tile stacks."""
+    return rng.uniform(low, high, (n_tiles, pixels, 3))

@@ -1,0 +1,111 @@
+"""Tests for the per-tile axis optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.color.srgb import encode_srgb8
+from repro.core.adjust import adjust_tiles
+from repro.core.optimizer import optimize_tiles, tile_bd_bits
+from repro.encoding.bd import bd_breakdown
+from repro.perception.model import ParametricModel
+
+
+def _tiles_and_axes(rng, n_tiles=25, pixels=16, ecc=25.0):
+    model = ParametricModel()
+    tiles = rng.uniform(0.2, 0.8, (n_tiles, pixels, 3))
+    axes = model.semi_axes(tiles, np.full((n_tiles, pixels), ecc))
+    return tiles, axes
+
+
+class TestTileBDBits:
+    def test_constant_tile_minimum_cost(self):
+        tiles = np.full((1, 16, 3), 128, dtype=np.uint8)
+        # Three channels of (8-bit base + 4-bit width), zero delta bits.
+        assert tile_bd_bits(tiles)[0] == 36
+
+    def test_full_range_tile_maximum_cost(self):
+        tiles = np.zeros((1, 16, 3), dtype=np.uint8)
+        tiles[0, 0, :] = 255
+        assert tile_bd_bits(tiles)[0] == 36 + 3 * 16 * 8
+
+    def test_agrees_with_frame_accounting(self, rng):
+        tiles = rng.integers(0, 256, (12, 16, 3), dtype=np.uint8)
+        per_tile = tile_bd_bits(tiles)
+        breakdown = bd_breakdown(tiles)
+        assert per_tile.sum() == breakdown.total_bits - breakdown.header_bits
+
+
+class TestOptimizeTiles:
+    def test_picks_minimum_bits(self, rng):
+        tiles, axes = _tiles_and_axes(rng)
+        optimized = optimize_tiles(tiles, axes, axes=(2, 0))
+        for axis in (2, 0):
+            candidate = adjust_tiles(tiles, axes, axis)
+            candidate_bits = tile_bd_bits(encode_srgb8(candidate.adjusted))
+            assert np.all(optimized.bits <= candidate_bits)
+
+    def test_bits_match_selected_tiles(self, rng):
+        tiles, axes = _tiles_and_axes(rng)
+        optimized = optimize_tiles(tiles, axes)
+        assert np.array_equal(optimized.bits, tile_bd_bits(optimized.adjusted_srgb))
+
+    def test_adjusted_srgb_is_quantized_adjusted(self, rng):
+        tiles, axes = _tiles_and_axes(rng)
+        optimized = optimize_tiles(tiles, axes)
+        assert np.array_equal(optimized.adjusted_srgb, encode_srgb8(optimized.adjusted))
+
+    def test_single_axis_mode(self, rng):
+        tiles, axes = _tiles_and_axes(rng)
+        optimized = optimize_tiles(tiles, axes, axes=(2,))
+        assert set(np.unique(optimized.chosen_axis)) == {2}
+        reference = adjust_tiles(tiles, axes, 2)
+        assert np.allclose(optimized.adjusted, reference.adjusted)
+
+    def test_chosen_axis_values_legal(self, rng):
+        tiles, axes = _tiles_and_axes(rng)
+        optimized = optimize_tiles(tiles, axes, axes=(2, 0))
+        assert set(np.unique(optimized.chosen_axis)) <= {0, 2}
+
+    def test_tie_break_prefers_first_listed(self, rng):
+        # Identical-color tiles: both axes reach the same (minimal)
+        # cost, so the tie must fall to the first listed axis.
+        tiles = np.full((4, 16, 3), 0.5)
+        axes_len = ParametricModel().semi_axes(tiles, np.full((4, 16), 25.0))
+        optimized = optimize_tiles(tiles, axes_len, axes=(0, 2))
+        assert set(np.unique(optimized.chosen_axis)) == {0}
+
+    def test_per_axis_results_exposed(self, rng):
+        tiles, axes = _tiles_and_axes(rng)
+        optimized = optimize_tiles(tiles, axes, axes=(2, 0))
+        assert set(optimized.per_axis) == {0, 2}
+        assert optimized.per_axis[2].axis == 2
+
+    def test_case2_taken_from_winner(self, rng):
+        tiles, axes = _tiles_and_axes(rng)
+        optimized = optimize_tiles(tiles, axes, axes=(2, 0))
+        for index in range(tiles.shape[0]):
+            winner = int(optimized.chosen_axis[index])
+            assert optimized.case2[index] == optimized.per_axis[winner].case2[index]
+
+    def test_rejects_empty_axes(self, rng):
+        tiles, axes = _tiles_and_axes(rng, n_tiles=1)
+        with pytest.raises(ValueError, match="at least one"):
+            optimize_tiles(tiles, axes, axes=())
+
+    def test_rejects_duplicate_axes(self, rng):
+        tiles, axes = _tiles_and_axes(rng, n_tiles=1)
+        with pytest.raises(ValueError, match="duplicate"):
+            optimize_tiles(tiles, axes, axes=(2, 2))
+
+    def test_never_worse_than_unadjusted(self, rng):
+        """On smooth tiles the winner's cost is at most the plain-BD cost."""
+        base = rng.uniform(0.3, 0.7, (20, 1, 3))
+        tiles = np.clip(base + rng.normal(0, 0.005, (20, 16, 3)), 0, 1)
+        model = ParametricModel()
+        axes_len = model.semi_axes(tiles, np.full((20, 16), 25.0))
+        optimized = optimize_tiles(tiles, axes_len)
+        unadjusted_bits = tile_bd_bits(encode_srgb8(tiles))
+        # sRGB re-quantization can cost a code occasionally; allow a
+        # one-bit-width slack per tile rather than exact dominance.
+        assert (optimized.bits <= unadjusted_bits + 16).all()
+        assert optimized.bits.sum() < unadjusted_bits.sum()

@@ -1,0 +1,72 @@
+"""Tests for compressed-size bookkeeping."""
+
+import pytest
+
+from repro.encoding.accounting import UNCOMPRESSED_BPP, SizeBreakdown
+
+
+def _breakdown(base=960, metadata=480, deltas=3000, header=40, pixels=1600):
+    return SizeBreakdown(
+        base_bits=base,
+        metadata_bits=metadata,
+        delta_bits=deltas,
+        header_bits=header,
+        n_pixels=pixels,
+    )
+
+
+class TestTotals:
+    def test_total_bits(self):
+        assert _breakdown().total_bits == 960 + 480 + 3000 + 40
+
+    def test_total_bytes_rounds_up(self):
+        breakdown = _breakdown(base=1, metadata=0, deltas=0, header=0)
+        assert breakdown.total_bytes == 1
+
+    def test_bits_per_pixel(self):
+        assert _breakdown().bits_per_pixel == pytest.approx(4480 / 1600)
+
+    def test_component_bpp_sums_to_total(self):
+        breakdown = _breakdown()
+        assert sum(breakdown.component_bpp().values()) == pytest.approx(
+            breakdown.bits_per_pixel
+        )
+
+
+class TestReductions:
+    def test_vs_uncompressed(self):
+        breakdown = _breakdown(base=1600 * 12, metadata=0, deltas=0, header=0)
+        assert breakdown.reduction_vs_uncompressed() == pytest.approx(0.5)
+
+    def test_vs_other(self):
+        ours = _breakdown(deltas=1000)
+        bd = _breakdown(deltas=3000)
+        assert ours.reduction_vs(bd) == pytest.approx(
+            1 - ours.total_bits / bd.total_bits
+        )
+
+    def test_vs_other_requires_same_pixels(self):
+        with pytest.raises(ValueError, match="different pixel counts"):
+            _breakdown().reduction_vs(_breakdown(pixels=99))
+
+    def test_vs_zero_size_rejected(self):
+        zero = SizeBreakdown(0, 0, 0, 0, 1600)
+        with pytest.raises(ValueError, match="zero size"):
+            _breakdown().reduction_vs(zero)
+
+    def test_uncompressed_constructor(self):
+        raw = SizeBreakdown.uncompressed(100)
+        assert raw.bits_per_pixel == UNCOMPRESSED_BPP
+        assert raw.reduction_vs_uncompressed() == 0.0
+
+
+class TestValidation:
+    def test_negative_component_rejected(self):
+        with pytest.raises(ValueError, match="base_bits"):
+            SizeBreakdown(-1, 0, 0, 0, 10)
+
+    def test_nonpositive_pixels_rejected(self):
+        with pytest.raises(ValueError, match="n_pixels"):
+            SizeBreakdown(0, 0, 0, 0, 0)
+        with pytest.raises(ValueError, match="n_pixels"):
+            SizeBreakdown.uncompressed(0)

@@ -1,0 +1,128 @@
+"""Tests for the variable-width BD extension (paper footnote 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.bd import bd_breakdown
+from repro.encoding.bd_variable import (
+    VariableBDCodec,
+    group_delta_widths,
+    variable_bd_breakdown,
+)
+from repro.encoding.tiling import tile_frame
+
+
+class TestGroupWidths:
+    def test_uniform_tile_zero_widths(self):
+        tiles = np.full((2, 16, 3), 50, dtype=np.uint8)
+        widths = group_delta_widths(tiles, group_size=4)
+        assert widths.shape == (2, 4, 3)
+        assert widths.sum() == 0
+
+    def test_skewed_tile_localizes_width(self):
+        """An edge confined to one group should cost width only there."""
+        tiles = np.full((1, 16, 3), 100, dtype=np.uint8)
+        tiles[0, :4, :] = 200  # only the first group carries the edge
+        widths = group_delta_widths(tiles, group_size=4)
+        assert (widths[0, 0] == 7).all()  # range 100 -> 7 bits
+        assert widths[0, 1:].sum() == 0
+
+    def test_deltas_relative_to_tile_base(self):
+        """Widths use the tile-wide minimum, not per-group minima."""
+        tiles = np.full((1, 8, 3), 0, dtype=np.uint8)
+        tiles[0, 4:, :] = 16  # second group constant, but offset from base
+        widths = group_delta_widths(tiles, group_size=4)
+        assert (widths[0, 1] == 5).all()  # delta 16 needs 5 bits
+
+    def test_rejects_indivisible_groups(self):
+        tiles = np.zeros((1, 16, 3), dtype=np.uint8)
+        with pytest.raises(ValueError, match="divisible"):
+            group_delta_widths(tiles, group_size=5)
+
+    def test_rejects_float_tiles(self):
+        with pytest.raises(TypeError, match="uint8"):
+            group_delta_widths(np.zeros((1, 16, 3)), group_size=4)
+
+
+class TestBreakdown:
+    def test_metadata_scales_with_groups(self, rng):
+        tiles = rng.integers(0, 256, (10, 16, 3), dtype=np.uint8)
+        fine = variable_bd_breakdown(tiles, group_size=2)
+        coarse = variable_bd_breakdown(tiles, group_size=8)
+        assert fine.metadata_bits > coarse.metadata_bits
+
+    def test_variable_deltas_never_exceed_fixed(self, rng):
+        """Group widths are bounded by the tile width, so the delta
+        component can only shrink."""
+        tiles = rng.integers(0, 256, (30, 16, 3), dtype=np.uint8)
+        fixed = bd_breakdown(tiles)
+        variable = variable_bd_breakdown(tiles, group_size=4)
+        assert variable.delta_bits <= fixed.delta_bits
+        assert variable.base_bits == fixed.base_bits
+
+    def test_wins_on_skewed_content(self):
+        tiles = np.full((50, 16, 3), 100, dtype=np.uint8)
+        tiles[:, 0, :] = 228  # single outlier pixel per tile
+        fixed = bd_breakdown(tiles)
+        variable = variable_bd_breakdown(tiles, group_size=4)
+        assert variable.total_bits < fixed.total_bits
+
+    def test_loses_on_uniformly_noisy_content(self, rng):
+        """When every group spans the full range, the extra width
+        fields are pure overhead."""
+        tiles = rng.integers(0, 256, (50, 16, 3), dtype=np.uint8)
+        fixed = bd_breakdown(tiles)
+        variable = variable_bd_breakdown(tiles, group_size=4)
+        assert variable.total_bits >= fixed.total_bits - 50 * 12
+
+
+class TestCodecRoundTrip:
+    @pytest.mark.parametrize("shape", [(8, 8), (13, 17), (4, 4)])
+    def test_random_frames(self, rng, shape):
+        frame = rng.integers(0, 256, (*shape, 3), dtype=np.uint8)
+        codec = VariableBDCodec(tile_size=4, group_size=4)
+        assert np.array_equal(codec.decode(codec.encode(frame)), frame)
+
+    @pytest.mark.parametrize("group_size", [1, 2, 4, 8, 16])
+    def test_group_sizes(self, rng, group_size):
+        frame = rng.integers(0, 256, (8, 8, 3), dtype=np.uint8)
+        codec = VariableBDCodec(tile_size=4, group_size=group_size)
+        assert np.array_equal(codec.decode(codec.encode(frame)), frame)
+
+    def test_stream_length_matches_breakdown(self, rng):
+        frame = rng.integers(0, 256, (12, 12, 3), dtype=np.uint8)
+        encoded = VariableBDCodec().encode(frame)
+        assert len(encoded.data) == -(-encoded.breakdown.total_bits // 8)
+
+    def test_breakdown_matches_fast_path(self, rng):
+        frame = rng.integers(0, 256, (16, 20, 3), dtype=np.uint8)
+        encoded = VariableBDCodec().encode(frame)
+        tiles, grid = tile_frame(frame, 4)
+        fast = variable_bd_breakdown(tiles, 4, n_pixels=grid.height * grid.width)
+        assert fast.total_bits == encoded.breakdown.total_bits
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=20))
+    def test_round_trip_property(self, height, width):
+        rng = np.random.default_rng(height * 100 + width)
+        frame = rng.integers(0, 256, (height, width, 3), dtype=np.uint8)
+        codec = VariableBDCodec(tile_size=4, group_size=4)
+        assert np.array_equal(codec.decode(codec.encode(frame)), frame)
+
+
+class TestValidation:
+    def test_rejects_indivisible_tile_group_combo(self):
+        with pytest.raises(ValueError, match="divisible"):
+            VariableBDCodec(tile_size=3, group_size=4)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError, match="tile_size"):
+            VariableBDCodec(tile_size=0)
+        with pytest.raises(ValueError, match="group_size"):
+            VariableBDCodec(group_size=0)
+
+    def test_rejects_float_frame(self):
+        with pytest.raises(TypeError, match="uint8"):
+            VariableBDCodec().encode(np.zeros((8, 8, 3)))

@@ -1,0 +1,106 @@
+"""Tests for frame tiling and untiling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.tiling import TileGrid, tile_frame, tile_scalar_field, untile_frame
+
+
+class TestTileGrid:
+    def test_exact_multiple(self):
+        grid = TileGrid(height=16, width=32, tile_size=4)
+        assert grid.padded_height == 16
+        assert grid.padded_width == 32
+        assert grid.n_tiles == 4 * 8
+        assert grid.pixels_per_tile == 16
+
+    def test_padding_rounds_up(self):
+        grid = TileGrid(height=17, width=30, tile_size=4)
+        assert grid.padded_height == 20
+        assert grid.padded_width == 32
+        assert grid.tiles_down == 5
+        assert grid.tiles_across == 8
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError, match="tile_size"):
+            TileGrid(height=4, width=4, tile_size=0)
+        with pytest.raises(ValueError, match="non-empty"):
+            TileGrid(height=0, width=4, tile_size=4)
+
+
+class TestTileFrame:
+    def test_first_tile_is_top_left_block(self, rng):
+        frame = rng.random((8, 8, 3))
+        tiles, grid = tile_frame(frame, 4)
+        expected = frame[:4, :4].reshape(16, 3)
+        assert np.array_equal(tiles[0], expected)
+
+    def test_tile_order_row_major(self, rng):
+        frame = rng.random((8, 12, 3))
+        tiles, grid = tile_frame(frame, 4)
+        # Second tile should be columns 4..8 of the top row of blocks.
+        assert np.array_equal(tiles[1], frame[:4, 4:8].reshape(16, 3))
+        # First tile of second block-row.
+        assert np.array_equal(tiles[3], frame[4:8, :4].reshape(16, 3))
+
+    def test_padding_replicates_edges(self, rng):
+        frame = rng.random((5, 5, 3))
+        tiles, grid = tile_frame(frame, 4)
+        assert grid.n_tiles == 4
+        # The bottom-right tile's far corner replicates pixel (4, 4).
+        assert np.array_equal(tiles[-1][-1], frame[4, 4])
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError, match=r"\(H, W, C\)"):
+            tile_frame(np.zeros((4, 4)), 4)
+
+    def test_dtype_preserved(self):
+        frame = np.zeros((4, 4, 3), dtype=np.uint8)
+        tiles, _ = tile_frame(frame, 4)
+        assert tiles.dtype == np.uint8
+
+
+class TestUntileFrame:
+    def test_round_trip_exact_multiple(self, rng):
+        frame = rng.random((16, 24, 3))
+        tiles, grid = tile_frame(frame, 4)
+        assert np.array_equal(untile_frame(tiles, grid), frame)
+
+    def test_round_trip_with_padding(self, rng):
+        frame = rng.random((13, 19, 3))
+        tiles, grid = tile_frame(frame, 4)
+        assert np.array_equal(untile_frame(tiles, grid), frame)
+
+    def test_rejects_wrong_stack_shape(self, rng):
+        frame = rng.random((8, 8, 3))
+        tiles, grid = tile_frame(frame, 4)
+        with pytest.raises(ValueError, match="tiles must have shape"):
+            untile_frame(tiles[:-1], grid)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=9),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_round_trip_property(self, height, width, tile_size, channels):
+        rng = np.random.default_rng(height * 1000 + width * 10 + tile_size)
+        frame = rng.random((height, width, channels))
+        tiles, grid = tile_frame(frame, tile_size)
+        assert np.array_equal(untile_frame(tiles, grid), frame)
+
+
+class TestScalarField:
+    def test_matches_frame_tiling(self, rng):
+        field = rng.random((12, 12))
+        tiles, grid = tile_scalar_field(field, 4)
+        assert tiles.shape == (9, 16)
+        frame_tiles, _ = tile_frame(field[..., None], 4)
+        assert np.array_equal(tiles, frame_tiles[..., 0])
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ValueError, match=r"\(H, W\)"):
+            tile_scalar_field(np.zeros((4, 4, 3)), 4)

@@ -1,0 +1,96 @@
+"""Tests for the CAU hardware model (paper Sec. 6.1)."""
+
+import pytest
+
+from repro.hardware.cau import CAUConfig, CAUModel, pe_count_for_gpu
+from repro.scenes.display import QUEST2_HIGH_RESOLUTION, QUEST2_LOW_RESOLUTION
+
+
+@pytest.fixture(scope="module")
+def cau():
+    return CAUModel()
+
+
+class TestPaperConstants:
+    def test_frequency(self, cau):
+        assert cau.frequency_mhz == pytest.approx(166.7, abs=0.1)
+
+    def test_pe_count_derivation(self):
+        """512 cores x 3 pixels per CAU cycle = 96 four-by-four tiles."""
+        assert pe_count_for_gpu() == 96
+
+    def test_latency_at_highest_resolution(self, cau):
+        height, width = QUEST2_HIGH_RESOLUTION
+        latency_us = cau.compression_latency_s(height, width) * 1e6
+        assert latency_us == pytest.approx(173.4, abs=0.5)
+
+    def test_pe_array_area(self, cau):
+        assert cau.total_pe_area_mm2 == pytest.approx(2.1, abs=0.05)
+
+    def test_total_power(self, cau):
+        assert cau.total_power_w * 1e6 == pytest.approx(201.6, abs=0.1)
+
+    def test_total_area_includes_buffers(self, cau):
+        assert cau.total_area_mm2 == pytest.approx(2.1 + 0.03, abs=0.06)
+
+
+class TestLatencyModel:
+    def test_latency_scales_with_pixels(self, cau):
+        low = cau.compression_latency_s(*QUEST2_LOW_RESOLUTION)
+        high = cau.compression_latency_s(*QUEST2_HIGH_RESOLUTION)
+        assert high > low
+
+    def test_negligible_vs_frame_budget(self, cau):
+        """The paper's framing: 173.4 us against a 13.9 ms budget."""
+        height, width = QUEST2_HIGH_RESOLUTION
+        assert cau.latency_fraction_of_budget(height, width, 72.0) < 0.02
+
+    def test_supports_all_quest2_rates(self, cau):
+        height, width = QUEST2_HIGH_RESOLUTION
+        for fps in (72, 80, 90, 120):
+            assert cau.supports_frame_rate(height, width, fps)
+
+    def test_more_pes_lower_latency(self):
+        small = CAUModel(CAUConfig(n_pes=48))
+        big = CAUModel(CAUConfig(n_pes=192))
+        h, w = QUEST2_HIGH_RESOLUTION
+        assert big.compression_latency_s(h, w) < small.compression_latency_s(h, w)
+
+    def test_partial_tiles_round_up(self, cau):
+        assert cau.tiles_for_resolution(5, 5) == 4
+
+    def test_rejects_bad_resolution(self, cau):
+        with pytest.raises(ValueError, match="resolution"):
+            cau.tiles_for_resolution(0, 100)
+
+    def test_rejects_bad_fps(self, cau):
+        with pytest.raises(ValueError, match="fps"):
+            cau.supports_frame_rate(100, 100, 0.0)
+
+
+class TestConfigValidation:
+    def test_rejects_nonpositive_pes(self):
+        with pytest.raises(ValueError, match="n_pes"):
+            CAUConfig(n_pes=0)
+
+    def test_rejects_nonpositive_cycle(self):
+        with pytest.raises(ValueError, match="cycle_ns"):
+            CAUConfig(cycle_ns=0.0)
+
+    def test_rejects_nonpositive_phases(self):
+        with pytest.raises(ValueError, match="pipeline_phases"):
+            CAUConfig(pipeline_phases=0)
+
+
+class TestPECountDerivation:
+    def test_slower_cau_needs_more_pes(self):
+        assert pe_count_for_gpu(cau_cycle_ns=12.0) > pe_count_for_gpu(cau_cycle_ns=6.0)
+
+    def test_fewer_cores_need_fewer_pes(self):
+        assert pe_count_for_gpu(shader_cores=256) < pe_count_for_gpu(shader_cores=512)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="positive"):
+            pe_count_for_gpu(shader_cores=0)
+        with pytest.raises(ValueError, match="pixels_per_tile"):
+            pe_count_for_gpu(pixels_per_tile=0)

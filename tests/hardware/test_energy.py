@@ -1,0 +1,84 @@
+"""Tests for the DRAM energy model (paper Fig. 13)."""
+
+import pytest
+
+from repro.hardware.energy import (
+    DRAM_ENERGY_PER_BIT_J,
+    DRAM_ENERGY_PER_PIXEL_PJ,
+    SYSTEM_POWER_REFERENCE_W,
+    OperatingPoint,
+    dram_traffic_power_w,
+    power_saving_w,
+)
+
+
+@pytest.fixture
+def point():
+    return OperatingPoint(height=2736, width=5408, fps=120)
+
+
+class TestConstants:
+    def test_per_bit_derivation(self):
+        assert DRAM_ENERGY_PER_BIT_J == pytest.approx(
+            DRAM_ENERGY_PER_PIXEL_PJ * 1e-12 / 24
+        )
+
+    def test_system_reference_matches_paper_ratio(self):
+        # 180.3 mW is 29.9% of the reference (paper Sec. 6.2).
+        assert 0.1803 / SYSTEM_POWER_REFERENCE_W == pytest.approx(0.299)
+
+
+class TestTrafficPower:
+    def test_hand_calculation(self, point):
+        power = dram_traffic_power_w(24.0, point)
+        expected = 24.0 * 2736 * 5408 * 120 * DRAM_ENERGY_PER_BIT_J
+        assert power == pytest.approx(expected)
+
+    def test_zero_traffic_zero_power(self, point):
+        assert dram_traffic_power_w(0.0, point) == 0.0
+
+    def test_linear_in_bpp(self, point):
+        assert dram_traffic_power_w(12.0, point) == pytest.approx(
+            dram_traffic_power_w(24.0, point) / 2
+        )
+
+    def test_rejects_negative_bpp(self, point):
+        with pytest.raises(ValueError, match="non-negative"):
+            dram_traffic_power_w(-1.0, point)
+
+
+class TestPowerSaving:
+    def test_positive_when_we_compress_more(self, point):
+        assert power_saving_w(10.0, 8.0, point) > 0
+
+    def test_subtracts_encoder_overhead(self, point):
+        gross = power_saving_w(10.0, 8.0, point, encoder_overhead_w=0.0)
+        net = power_saving_w(10.0, 8.0, point, encoder_overhead_w=0.5)
+        assert gross - net == pytest.approx(0.5)
+
+    def test_negative_when_we_lose(self, point):
+        assert power_saving_w(8.0, 10.0, point) < 0
+
+    def test_paper_scale_saving(self, point):
+        """A ~2 bpp delta at the highest operating point lands in the
+        paper's ~0.5 W range."""
+        saving = power_saving_w(10.0, 8.0, point)
+        assert 0.3 < saving < 0.8
+
+    def test_rejects_negative_overhead(self, point):
+        with pytest.raises(ValueError, match="encoder_overhead_w"):
+            power_saving_w(10.0, 8.0, point, encoder_overhead_w=-1.0)
+
+
+class TestOperatingPoint:
+    def test_pixel_count(self):
+        assert OperatingPoint(10, 20, 60).pixels == 200
+
+    def test_label(self):
+        assert OperatingPoint(2096, 4128, 72).label == "4128x2096@72FPS"
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="resolution"):
+            OperatingPoint(0, 10, 60)
+        with pytest.raises(ValueError, match="fps"):
+            OperatingPoint(10, 10, 0)

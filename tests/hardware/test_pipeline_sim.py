@@ -1,0 +1,101 @@
+"""Tests for the GPU->CAU dataflow simulator (paper Sec. 4.2)."""
+
+import pytest
+
+from repro.hardware.cau import CAUConfig
+from repro.hardware.pipeline_sim import PipelineConfig, simulate_frame
+
+#: Tiles of the highest Quest 2 resolution (5408x2736 at 4x4 tiles).
+QUEST2_HIGH_TILES = 1352 * 684
+
+
+class TestPaperSizing:
+    """The paper's claims: 96 PEs + double buffering neither stall the
+    GPU nor starve the CAU at full GPU utilization."""
+
+    def test_balanced_design_never_stalls(self):
+        stats = simulate_frame(QUEST2_HIGH_TILES)
+        assert not stats.gpu_stalled
+        assert stats.cau_idle_cycles == 0
+
+    def test_balanced_design_cycle_count(self):
+        """Drain time equals ceil(tiles / PEs) cycles — the quantity the
+        analytical latency model multiplies by the cycle time."""
+        stats = simulate_frame(QUEST2_HIGH_TILES)
+        assert stats.total_cycles == -(-QUEST2_HIGH_TILES // 96)
+
+    def test_peak_occupancy_within_double_buffer(self):
+        stats = simulate_frame(QUEST2_HIGH_TILES)
+        assert stats.peak_buffer_occupancy <= 192  # 2 tiles per PE
+
+    def test_full_utilization(self):
+        stats = simulate_frame(QUEST2_HIGH_TILES)
+        assert stats.cau_utilization == 1.0
+
+    def test_all_tiles_processed(self):
+        stats = simulate_frame(1000)
+        assert stats.tiles_processed == 1000
+
+
+class TestImbalancedDesigns:
+    def test_undersized_cau_stalls_gpu(self):
+        """Halving the PE count makes the GPU outrun the CAU: the
+        buffer fills and back-pressure stalls rendering."""
+        config = PipelineConfig(cau=CAUConfig(n_pes=48), gpu_tiles_per_cycle=96)
+        stats = simulate_frame(10_000, config)
+        assert stats.gpu_stalled
+        assert stats.peak_buffer_occupancy == config.buffer_tiles
+
+    def test_oversized_cau_goes_idle(self):
+        """A slow GPU (half duty cycle) leaves the CAU starving."""
+        config = PipelineConfig(gpu_duty_cycle=0.5)
+        stats = simulate_frame(10_000, config)
+        assert stats.cau_idle_cycles > 0
+        assert not stats.gpu_stalled
+
+    def test_undersized_cau_still_completes(self):
+        config = PipelineConfig(cau=CAUConfig(n_pes=24))
+        stats = simulate_frame(5_000, config)
+        assert stats.tiles_processed == 5_000
+        # Drain time is now CAU-bound.
+        assert stats.total_cycles >= -(-5_000 // 24)
+
+    def test_tiny_buffer_slows_everything(self):
+        small = PipelineConfig(buffer_tiles=24)
+        stats = simulate_frame(5_000, small)
+        balanced = simulate_frame(5_000)
+        assert stats.total_cycles > balanced.total_cycles
+        assert stats.gpu_stalled
+
+
+class TestLatencyConversion:
+    def test_matches_analytical_model(self):
+        """Simulated drain time x (phases x cycle time) reproduces the
+        paper's 173.4 us latency at the highest resolution."""
+        stats = simulate_frame(QUEST2_HIGH_TILES)
+        config = CAUConfig()
+        latency_us = (
+            stats.total_cycles * config.pipeline_phases * config.cycle_ns * 1e-3
+        )
+        assert latency_us == pytest.approx(173.4, abs=0.5)
+
+    def test_latency_seconds_validation(self):
+        stats = simulate_frame(100)
+        with pytest.raises(ValueError, match="cycle_ns"):
+            stats.latency_seconds(0.0)
+
+
+class TestValidation:
+    def test_rejects_bad_tile_count(self):
+        with pytest.raises(ValueError, match="n_tiles"):
+            simulate_frame(0)
+
+    def test_rejects_bad_config_values(self):
+        with pytest.raises(ValueError, match="gpu_tiles_per_cycle"):
+            PipelineConfig(gpu_tiles_per_cycle=0)
+        with pytest.raises(ValueError, match="buffer_tiles"):
+            PipelineConfig(buffer_tiles=0)
+        with pytest.raises(ValueError, match="gpu_duty_cycle"):
+            PipelineConfig(gpu_duty_cycle=0.0)
+        with pytest.raises(ValueError, match="gpu_duty_cycle"):
+            PipelineConfig(gpu_duty_cycle=1.5)

@@ -1,0 +1,81 @@
+"""Tests for per-user calibration and population sampling."""
+
+import numpy as np
+import pytest
+
+from repro.perception.calibration import (
+    ObserverProfile,
+    calibrated_model,
+    sample_population,
+)
+from repro.perception.model import ParametricModel
+
+
+class TestObserverProfile:
+    def test_defaults(self):
+        profile = ObserverProfile("avg")
+        assert profile.sensitivity == 1.0
+        assert not profile.has_cvd
+
+    def test_rejects_nonpositive_sensitivity(self):
+        with pytest.raises(ValueError, match="positive"):
+            ObserverProfile("bad", sensitivity=-0.5)
+
+
+class TestPopulation:
+    def test_count_and_names(self):
+        profiles = sample_population(11, np.random.default_rng(0))
+        assert len(profiles) == 11
+        assert profiles[0].name == "P01"
+        assert profiles[10].name == "P11"
+
+    def test_deterministic_given_rng_seed(self):
+        a = sample_population(5, np.random.default_rng(3))
+        b = sample_population(5, np.random.default_rng(3))
+        assert [p.sensitivity for p in a] == [p.sensitivity for p in b]
+
+    def test_centered_near_one(self):
+        profiles = sample_population(2000, np.random.default_rng(1))
+        sensitivities = np.array([p.sensitivity for p in profiles])
+        assert 0.85 < np.median(sensitivities) < 1.1
+
+    def test_sensitive_outliers_exist(self):
+        profiles = sample_population(
+            2000, np.random.default_rng(1), sensitive_fraction=0.1
+        )
+        sensitivities = np.array([p.sensitivity for p in profiles])
+        assert (sensitivities < 0.6).mean() > 0.02
+
+    def test_no_outliers_when_disabled(self):
+        profiles = sample_population(
+            500, np.random.default_rng(1), spread=0.01, sensitive_fraction=0.0
+        )
+        sensitivities = np.array([p.sensitivity for p in profiles])
+        assert sensitivities.min() > 0.9
+
+    def test_rejects_bad_arguments(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="positive"):
+            sample_population(0, rng)
+        with pytest.raises(ValueError, match="sensitive_fraction"):
+            sample_population(5, rng, sensitive_fraction=1.5)
+
+
+class TestCalibratedModel:
+    def test_scales_by_sensitivity(self, model):
+        profile = ObserverProfile("sens", sensitivity=0.5)
+        calibrated = calibrated_model(profile, base=model)
+        base_axes = model.semi_axes([0.5, 0.5, 0.5], 20.0)
+        assert np.allclose(
+            calibrated.semi_axes([0.5, 0.5, 0.5], 20.0), 0.5 * base_axes
+        )
+
+    def test_default_base_model(self):
+        profile = ObserverProfile("avg")
+        calibrated = calibrated_model(profile)
+        assert calibrated.semi_axes([0.5, 0.5, 0.5], 20.0).shape == (3,)
+
+    def test_cvd_refused(self, model):
+        profile = ObserverProfile("cvd", has_cvd=True)
+        with pytest.raises(ValueError, match="CVD"):
+            calibrated_model(profile, base=model)

@@ -1,0 +1,89 @@
+"""Tests for the discrimination-model implementations."""
+
+import numpy as np
+import pytest
+
+from repro.perception.model import (
+    DiscriminationModel,
+    ParametricModel,
+    RBFModel,
+    ScaledModel,
+    default_model,
+)
+
+
+@pytest.fixture(scope="module")
+def rbf_model():
+    # Smaller training budget than the default keeps tests quick while
+    # still verifying fidelity.
+    return RBFModel(n_train=3000)
+
+
+class TestParametricModel:
+    def test_satisfies_protocol(self, model):
+        assert isinstance(model, DiscriminationModel)
+
+    def test_semi_axes_positive(self, model, rng):
+        colors = rng.uniform(0, 1, (20, 3))
+        assert model.semi_axes(colors, 15.0).min() > 0
+
+
+class TestRBFModel:
+    def test_tracks_parametric_law(self, rbf_model, rng):
+        colors = rng.uniform(0.1, 0.9, (200, 3))
+        ecc = rng.uniform(5, 40, 200)
+        reference = ParametricModel().semi_axes(colors, ecc)
+        predicted = rbf_model.semi_axes(colors, ecc)
+        relative_error = np.abs(predicted - reference) / reference
+        assert np.median(relative_error) < 0.05
+        assert np.mean(relative_error) < 0.10
+
+    def test_output_positive_everywhere(self, rbf_model, rng):
+        colors = rng.uniform(0, 1, (500, 3))
+        ecc = rng.uniform(0, 60, 500)
+        assert rbf_model.semi_axes(colors, ecc).min() > 0
+
+    def test_broadcasts_scalar_eccentricity(self, rbf_model):
+        colors = np.full((4, 5, 3), 0.5)
+        out = rbf_model.semi_axes(colors, 20.0)
+        assert out.shape == (4, 5, 3)
+
+    def test_monotone_in_eccentricity_on_average(self, rbf_model, rng):
+        colors = rng.uniform(0.2, 0.8, (50, 3))
+        near = rbf_model.semi_axes(colors, np.full(50, 5.0))
+        far = rbf_model.semi_axes(colors, np.full(50, 30.0))
+        assert np.all(far.mean(axis=0) > near.mean(axis=0))
+
+    def test_rejects_bad_color_shape(self, rbf_model):
+        with pytest.raises(ValueError, match="trailing axis"):
+            rbf_model.semi_axes(np.zeros((3, 4)), 10.0)
+
+    def test_deterministic_given_seed(self):
+        a = RBFModel(n_train=500, seed=5).semi_axes([0.5, 0.5, 0.5], 20.0)
+        b = RBFModel(n_train=500, seed=5).semi_axes([0.5, 0.5, 0.5], 20.0)
+        assert np.array_equal(a, b)
+
+
+class TestScaledModel:
+    def test_scales_axes(self, model):
+        scaled = ScaledModel(model, 0.5)
+        base = model.semi_axes([0.5, 0.5, 0.5], 20.0)
+        assert np.allclose(scaled.semi_axes([0.5, 0.5, 0.5], 20.0), 0.5 * base)
+
+    def test_rejects_nonpositive_factor(self, model):
+        with pytest.raises(ValueError, match="positive"):
+            ScaledModel(model, 0.0)
+
+    def test_composable(self, model):
+        double_scaled = ScaledModel(ScaledModel(model, 0.5), 0.5)
+        base = model.semi_axes([0.3, 0.3, 0.3], 10.0)
+        assert np.allclose(double_scaled.semi_axes([0.3, 0.3, 0.3], 10.0), 0.25 * base)
+
+
+class TestDefaultModel:
+    def test_parametric_cached(self):
+        assert default_model() is default_model()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown model kind"):
+            default_model("neural")

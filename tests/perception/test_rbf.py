@@ -1,0 +1,120 @@
+"""Tests for the generic RBF regression network."""
+
+import numpy as np
+import pytest
+
+from repro.perception.rbf import RBFNetwork
+
+
+def _fit_1d(func, n_centers=15, n_samples=200, bandwidth=0.15):
+    centers = RBFNetwork.grid_centers([(0.0, 1.0)], [n_centers])
+    network = RBFNetwork(centers, bandwidth=bandwidth)
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0, 1, (n_samples, 1))
+    network.fit(x, func(x[:, 0]))
+    return network
+
+
+class TestConstruction:
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            RBFNetwork(np.zeros((3, 2)), bandwidth=0.0)
+
+    def test_rejects_bad_scale_shape(self):
+        with pytest.raises(ValueError, match="input_scale"):
+            RBFNetwork(np.zeros((3, 2)), bandwidth=1.0, input_scale=[1.0])
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError, match="positive"):
+            RBFNetwork(np.zeros((3, 2)), bandwidth=1.0, input_scale=[1.0, 0.0])
+
+    def test_properties(self):
+        network = RBFNetwork(np.zeros((5, 3)), bandwidth=1.0)
+        assert network.n_centers == 5
+        assert network.n_inputs == 3
+        assert not network.is_fitted
+
+
+class TestFitPredict:
+    def test_approximates_smooth_function(self):
+        network = _fit_1d(lambda x: np.sin(2 * np.pi * x))
+        x = np.linspace(0.05, 0.95, 50)[:, None]
+        predicted = network.predict(x)[:, 0]
+        assert np.max(np.abs(predicted - np.sin(2 * np.pi * x[:, 0]))) < 0.05
+
+    def test_multioutput(self):
+        centers = RBFNetwork.grid_centers([(0, 1), (0, 1)], [6, 6])
+        network = RBFNetwork(centers, bandwidth=0.3)
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, (300, 2))
+        y = np.column_stack([x[:, 0] + x[:, 1], x[:, 0] * x[:, 1]])
+        network.fit(x, y)
+        predicted = network.predict(x)
+        assert predicted.shape == (300, 2)
+        assert np.mean(np.abs(predicted - y)) < 0.02
+
+    def test_interpolates_training_points_with_tiny_ridge(self):
+        network = _fit_1d(lambda x: x**2)
+        x = np.array([[0.3], [0.7]])
+        assert np.allclose(network.predict(x)[:, 0], [0.09, 0.49], atol=0.01)
+
+    def test_fit_returns_self(self):
+        centers = RBFNetwork.grid_centers([(0, 1)], [3])
+        network = RBFNetwork(centers, bandwidth=0.5)
+        assert network.fit(np.array([[0.5]]), np.array([1.0])) is network
+
+    def test_predict_before_fit_raises(self):
+        network = RBFNetwork(np.zeros((3, 1)), bandwidth=1.0)
+        with pytest.raises(RuntimeError, match="before fit"):
+            network.predict(np.zeros((1, 1)))
+
+    def test_sample_count_mismatch(self):
+        network = RBFNetwork(np.zeros((3, 1)), bandwidth=1.0)
+        with pytest.raises(ValueError, match="sample count"):
+            network.fit(np.zeros((4, 1)), np.zeros(3))
+
+    def test_input_dim_mismatch(self):
+        network = RBFNetwork(np.zeros((3, 2)), bandwidth=1.0)
+        with pytest.raises(ValueError, match="2-D inputs"):
+            network.fit(np.zeros((4, 3)), np.zeros(4))
+
+    def test_negative_ridge_rejected(self):
+        network = RBFNetwork(np.zeros((3, 1)), bandwidth=1.0)
+        with pytest.raises(ValueError, match="ridge"):
+            network.fit(np.zeros((2, 1)), np.zeros(2), ridge=-1.0)
+
+    def test_chunked_prediction_identical(self):
+        network = _fit_1d(np.cos)
+        x = np.linspace(0, 1, 500)[:, None]
+        full = network.predict(x, chunk_size=10_000)
+        chunked = network.predict(x, chunk_size=7)
+        assert np.allclose(full, chunked)
+
+    def test_bad_chunk_size(self):
+        network = _fit_1d(np.cos)
+        with pytest.raises(ValueError, match="chunk_size"):
+            network.predict(np.zeros((1, 1)), chunk_size=0)
+
+
+class TestGridCenters:
+    def test_counts(self):
+        centers = RBFNetwork.grid_centers([(0, 1), (0, 2)], [3, 4])
+        assert centers.shape == (12, 2)
+
+    def test_bounds_respected(self):
+        centers = RBFNetwork.grid_centers([(0.5, 1.5)], [5])
+        assert centers.min() == 0.5
+        assert centers.max() == 1.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            RBFNetwork.grid_centers([(0, 1)], [2, 3])
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError, match="invalid bounds"):
+            RBFNetwork.grid_centers([(1.0, 0.0)], [2])
+
+    def test_single_point_dimension(self):
+        centers = RBFNetwork.grid_centers([(0, 1), (2, 2)], [3, 1])
+        assert centers.shape == (3, 2)
+        assert np.all(centers[:, 1] == 2.0)

@@ -1,0 +1,104 @@
+"""Tests for the remote-rendering session simulator."""
+
+import pytest
+
+from repro.scenes.library import get_scene
+from repro.streaming.link import WirelessLink
+from repro.streaming.session import ENCODER_CHOICES, simulate_session
+
+FAST_LINK = WirelessLink(bandwidth_mbps=2000.0, propagation_ms=1.0)
+SLOW_LINK = WirelessLink(bandwidth_mbps=25.0, propagation_ms=3.0)
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return get_scene("office")
+
+
+@pytest.fixture(scope="module")
+def reports(scene):
+    return {
+        name: simulate_session(
+            scene, SLOW_LINK, encoder=name, n_frames=2, height=96, width=96
+        )
+        for name in ENCODER_CHOICES
+    }
+
+
+class TestPayloads:
+    def test_raw_payload_is_exact(self, reports):
+        # Two eyes x 24 bpp x 96x96 pixels.
+        assert reports["raw"].mean_payload_bits == 2 * 24 * 96 * 96
+
+    def test_compression_ordering(self, reports):
+        assert (
+            reports["perceptual"].mean_payload_bits
+            < reports["bd"].mean_payload_bits
+            < reports["raw"].mean_payload_bits
+        )
+
+    def test_latency_ordering_follows_payload(self, reports):
+        assert (
+            reports["perceptual"].mean_latency_s
+            < reports["bd"].mean_latency_s
+            < reports["raw"].mean_latency_s
+        )
+
+    def test_sustainable_fps_ordering(self, reports):
+        assert (
+            reports["perceptual"].sustainable_fps
+            > reports["bd"].sustainable_fps
+            > reports["raw"].sustainable_fps
+        )
+
+
+class TestTargetRates:
+    def test_fast_link_meets_target_even_raw(self, scene):
+        report = simulate_session(
+            scene, FAST_LINK, encoder="raw", n_frames=1, height=96, width=96,
+            target_fps=72.0,
+        )
+        assert report.meets_target
+
+    def test_slow_link_needs_compression(self, scene):
+        """The motivating scenario: a link that cannot carry raw frames
+        at the target rate becomes sufficient with the perceptual
+        encoder in front of BD."""
+        raw = simulate_session(
+            scene, SLOW_LINK, encoder="raw", n_frames=1, height=96, width=96,
+            target_fps=72.0,
+        )
+        perceptual = simulate_session(
+            scene, SLOW_LINK, encoder="perceptual", n_frames=1, height=96, width=96,
+            target_fps=72.0,
+        )
+        assert not raw.meets_target
+        assert perceptual.sustainable_fps > raw.sustainable_fps
+
+
+class TestStructure:
+    def test_frame_count(self, reports):
+        assert all(len(r.frames) == 2 for r in reports.values())
+
+    def test_motion_to_photon_composition(self, reports):
+        frame = reports["bd"].frames[0]
+        assert frame.motion_to_photon_s == pytest.approx(
+            frame.encode_time_s + frame.transmit_time_s
+        )
+
+    def test_deterministic_given_seed(self, scene):
+        a = simulate_session(scene, SLOW_LINK, n_frames=1, height=96, width=96, seed=4)
+        b = simulate_session(scene, SLOW_LINK, n_frames=1, height=96, width=96, seed=4)
+        assert a.mean_latency_s == b.mean_latency_s
+
+
+class TestValidation:
+    def test_rejects_unknown_encoder(self, scene):
+        with pytest.raises(ValueError, match="unknown encoder"):
+            simulate_session(scene, FAST_LINK, encoder="h265")
+
+    def test_rejects_bad_counts(self, scene):
+        with pytest.raises(ValueError, match="n_frames"):
+            simulate_session(scene, FAST_LINK, n_frames=0)
+        with pytest.raises(ValueError, match="target_fps"):
+            simulate_session(scene, FAST_LINK, target_fps=0.0)

@@ -1,0 +1,119 @@
+"""Tests for the simulated-observer detection model."""
+
+import numpy as np
+import pytest
+
+from repro.perception.calibration import ObserverProfile
+from repro.study.observer import (
+    PsychometricParameters,
+    SimulatedObserver,
+    green_masking_factor,
+    reliability_factor,
+    scene_exceedance,
+)
+
+PARAMS = PsychometricParameters()
+
+
+class TestReliability:
+    def test_bright_pixels_fully_reliable(self):
+        assert reliability_factor(np.array([0.9, 0.9, 0.9]), PARAMS) == pytest.approx(1.0)
+
+    def test_dark_pixels_less_reliable(self):
+        dark = reliability_factor(np.array([0.02, 0.02, 0.02]), PARAMS)
+        assert PARAMS.dark_floor <= dark < 0.8
+
+    def test_floor_respected(self):
+        assert reliability_factor(np.zeros(3), PARAMS) == pytest.approx(PARAMS.dark_floor)
+
+    def test_batch_shape(self):
+        frame = np.full((4, 4, 3), 0.5)
+        assert reliability_factor(frame, PARAMS).shape == (4, 4)
+
+
+class TestGreenMasking:
+    def test_green_pixels_masked_most(self):
+        green = green_masking_factor(np.array([0.1, 0.8, 0.1]), PARAMS)
+        red = green_masking_factor(np.array([0.8, 0.1, 0.1]), PARAMS)
+        assert green > red
+
+    def test_black_pixel_neutral(self):
+        factor = green_masking_factor(np.zeros(3), PARAMS)
+        assert factor == pytest.approx(1.0 + PARAMS.green_boost / 3.0)
+
+    def test_always_at_least_one(self, rng):
+        colors = rng.uniform(0, 1, (100, 3))
+        assert (green_masking_factor(colors, PARAMS) >= 1.0).all()
+
+
+class TestSceneExceedance:
+    def test_zero_for_identical_frames(self, model, ecc_map_64):
+        frame = np.full((64, 64, 3), 0.5)
+        value = scene_exceedance([frame], [frame], ecc_map_64, model=model)
+        assert value == pytest.approx(0.0)
+
+    def test_grows_with_shift_size(self, model, ecc_map_64, rng):
+        frame = np.clip(rng.uniform(0.4, 0.6, (64, 64, 3)), 0, 1)
+        small = np.clip(frame + 0.002, 0, 1)
+        large = np.clip(frame + 0.02, 0, 1)
+        ecc = ecc_map_64
+        small_e = scene_exceedance([frame], [small], ecc, model=model)
+        large_e = scene_exceedance([frame], [large], ecc, model=model)
+        assert large_e > small_e > 0
+
+    def test_takes_max_over_frames(self, model, ecc_map_64):
+        frame = np.full((64, 64, 3), 0.5)
+        shifted = np.clip(frame + 0.01, 0, 1)
+        lone = scene_exceedance([frame, frame], [frame, shifted], ecc_map_64, model=model)
+        direct = scene_exceedance([frame], [shifted], ecc_map_64, model=model)
+        assert lone == pytest.approx(direct)
+
+    def test_rejects_mismatched_lists(self, model, ecc_map_64):
+        frame = np.zeros((64, 64, 3))
+        with pytest.raises(ValueError, match="equal"):
+            scene_exceedance([frame], [], ecc_map_64, model=model)
+
+    def test_rejects_shape_mismatch(self, model, ecc_map_64):
+        with pytest.raises(ValueError, match="mismatch"):
+            scene_exceedance(
+                [np.zeros((64, 64, 3))], [np.zeros((32, 32, 3))], ecc_map_64, model=model
+            )
+
+
+class TestSimulatedObserver:
+    def _observer(self, sensitivity=1.0):
+        return SimulatedObserver(ObserverProfile("P", sensitivity=sensitivity))
+
+    def test_probability_monotone_in_exceedance(self):
+        observer = self._observer()
+        assert observer.detection_probability(2.0) > observer.detection_probability(1.0)
+
+    def test_sensitive_observer_detects_more(self):
+        exceedance = PARAMS.threshold  # borderline trial
+        sensitive = self._observer(0.7)
+        tolerant = self._observer(1.3)
+        assert (
+            sensitive.detection_probability(exceedance)
+            > tolerant.detection_probability(exceedance)
+        )
+
+    def test_zero_exceedance_never_detected(self):
+        assert self._observer().detection_probability(0.0) < 1e-6
+
+    def test_huge_exceedance_always_detected(self):
+        assert self._observer().detection_probability(10.0) > 0.999999
+
+    def test_extreme_values_do_not_overflow(self):
+        assert self._observer(1e-6).detection_probability(5.0) == 1.0
+
+    def test_negative_exceedance_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            self._observer().detection_probability(-0.1)
+
+    def test_bernoulli_draw_respects_probability(self):
+        observer = self._observer()
+        rng = np.random.default_rng(0)
+        draws = [observer.notices_artifacts(10.0, rng) for _ in range(20)]
+        assert all(draws)
+        draws = [observer.notices_artifacts(0.0, rng) for _ in range(20)]
+        assert not any(draws)

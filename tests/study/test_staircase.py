@@ -1,0 +1,106 @@
+"""Tests for the staircase calibration procedure (paper Sec. 6.5)."""
+
+import numpy as np
+import pytest
+
+from repro.perception.calibration import ObserverProfile
+from repro.study.staircase import (
+    CalibrationRun,
+    StaircaseConfig,
+    calibrate_profile,
+    run_staircase,
+)
+
+
+def _estimate(sensitivity, seed=0, config=None):
+    profile = ObserverProfile("P", sensitivity=sensitivity)
+    return run_staircase(profile, np.random.default_rng(seed), config)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("sensitivity", [0.55, 0.8, 1.0, 1.4])
+    def test_recovers_known_sensitivity(self, sensitivity):
+        estimates = [
+            _estimate(sensitivity, seed).estimated_sensitivity for seed in range(8)
+        ]
+        mean_estimate = float(np.exp(np.mean(np.log(estimates))))
+        assert mean_estimate == pytest.approx(sensitivity, rel=0.20)
+
+    def test_converges_within_budget(self):
+        run = _estimate(1.0)
+        assert run.converged
+        assert run.n_trials <= StaircaseConfig().max_trials
+
+    def test_ordering_preserved(self):
+        """A more sensitive observer always calibrates lower than a
+        less sensitive one (averaged over runs)."""
+        sensitive = np.mean(
+            [_estimate(0.6, s).estimated_sensitivity for s in range(6)]
+        )
+        tolerant = np.mean(
+            [_estimate(1.3, s).estimated_sensitivity for s in range(6)]
+        )
+        assert sensitive < tolerant
+
+    def test_deterministic_given_seed(self):
+        a = _estimate(0.9, seed=3)
+        b = _estimate(0.9, seed=3)
+        assert a.intensities == b.intensities
+        assert a.estimated_sensitivity == b.estimated_sensitivity
+
+
+class TestTrace:
+    def test_trace_recorded(self):
+        run = _estimate(1.0)
+        assert run.n_trials == len(run.responses)
+        assert len(run.reversal_intensities) >= StaircaseConfig().n_reversals
+
+    def test_intensities_stay_positive(self):
+        run = _estimate(0.7)
+        assert min(run.intensities) > 0
+
+    def test_trial_budget_respected(self):
+        config = StaircaseConfig(max_trials=10)
+        run = _estimate(1.0, config=config)
+        assert run.n_trials <= 10
+        assert not run.converged  # 10 trials cannot produce 12 reversals
+        assert np.isfinite(run.estimated_sensitivity)
+
+
+class TestCalibrateProfile:
+    def test_produces_named_profile(self):
+        profile = ObserverProfile("P07", sensitivity=0.75)
+        calibrated = calibrate_profile(profile, np.random.default_rng(1))
+        assert calibrated.name == "P07-calibrated"
+        assert calibrated.sensitivity > 0
+        assert not calibrated.has_cvd
+
+    def test_end_to_end_with_encoder(self, model):
+        """Calibrated profile plugs into the encoder path."""
+        from repro.perception.calibration import calibrated_model
+
+        profile = ObserverProfile("P", sensitivity=0.6)
+        calibrated = calibrate_profile(profile, np.random.default_rng(2))
+        user_model = calibrated_model(calibrated, base=model)
+        base_axes = model.semi_axes([0.5, 0.5, 0.5], 20.0)
+        user_axes = user_model.semi_axes([0.5, 0.5, 0.5], 20.0)
+        # The calibrated model tightens thresholds for this sensitive user.
+        assert np.all(user_axes < base_axes)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ValueError, match="steps"):
+            StaircaseConfig(step_up=1.0)
+
+    def test_rejects_bad_reversal_counts(self):
+        with pytest.raises(ValueError, match="reversals"):
+            StaircaseConfig(n_reversals=4, discard_reversals=4)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError, match="rates"):
+            StaircaseConfig(lapse_rate=0.7)
+
+    def test_rejects_bad_initial_intensity(self):
+        with pytest.raises(ValueError, match="initial_intensity"):
+            StaircaseConfig(initial_intensity=0.0)

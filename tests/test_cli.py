@@ -1,0 +1,40 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestList:
+    def test_list_exits_zero(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig10", "sec61", "ext-rd"):
+            assert name in out
+
+    def test_registry_covers_all_paper_figures(self):
+        for figure in ("fig02", "fig10", "fig11", "fig12", "fig13", "fig14",
+                       "fig15", "sec61", "sec63"):
+            assert figure in EXPERIMENTS
+
+
+class TestRun:
+    def test_runs_single_experiment(self, capsys):
+        code = main(["fig12", "--height", "96", "--width", "96", "--frames", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "c2" in out and "mean c2" in out
+
+    def test_runs_hardware_without_workload(self, capsys):
+        assert main(["sec61"]) == 0
+        assert "latency" in capsys.readouterr().out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["definitely-not-real"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_config_flags_forwarded(self, capsys):
+        code = main(
+            ["fig02", "--height", "96", "--width", "96", "--frames", "1", "--seed", "3"]
+        )
+        assert code == 0
