@@ -1,9 +1,11 @@
 """Quickstart: encode one VR frame perceptually and account the traffic.
 
-Renders one of the evaluation scenes, builds the gaze-dependent
-eccentricity map, runs the perceptual encoder, and pushes the adjusted
-frame through the real Base+Delta bitstream codec — the full pipeline
-of the paper's Fig. 7.
+Renders one of the evaluation scenes, wraps it in a shared
+:class:`~repro.FrameContext` (lazy sRGB quantization, tiling, and
+gaze-dependent eccentricity), asks the codec registry for the
+perceptual codec, and pushes the adjusted frame through the real
+Base+Delta bitstream codec — the full pipeline of the paper's Fig. 7.
+A final sweep compares every registered codec on the same context.
 
 Run:  python examples/quickstart.py
 """
@@ -12,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import PerceptualEncoder, QUEST2_DISPLAY, render_scene
+from repro import FrameContext, available_codecs, get_codec, render_scene
 from repro.encoding.bd import BDCodec
 
 
@@ -22,12 +24,13 @@ def main() -> None:
     # 1. A rendered frame in linear RGB (left-eye sub-frame).
     frame = render_scene("fortnite", height, width, eye="left")
 
-    # 2. Per-pixel eccentricity for the current gaze (screen center).
-    eccentricity = QUEST2_DISPLAY.eccentricity_map(height, width)
+    # 2. A shared context: sRGB quantization, tiling, and the centered-
+    #    gaze eccentricity map are derived lazily, each at most once,
+    #    no matter how many codecs encode it.
+    ctx = FrameContext(frame)
 
-    # 3. Perceptual color adjustment + BD size accounting.
-    encoder = PerceptualEncoder()
-    result = encoder.encode_frame(frame, eccentricity)
+    # 3. Perceptual color adjustment + BD size accounting, by name.
+    result = get_codec("perceptual").encode(ctx)
 
     print(f"scene              : fortnite ({height}x{width})")
     print(f"BD (baseline)      : {result.baseline_breakdown.bits_per_pixel:6.2f} bpp")
@@ -44,6 +47,12 @@ def main() -> None:
     decoded = codec.decode(encoded)
     assert np.array_equal(decoded, result.adjusted_srgb)
     print(f"BD bitstream       : {len(encoded.data)} bytes, decodes exactly")
+
+    # 5. Every registered codec, one context, one loop.
+    print("codec sweep        :")
+    for name in available_codecs():
+        bits = get_codec(name).encode(ctx).bits_per_pixel
+        print(f"  {name:<12} {bits:6.2f} bpp")
 
 
 if __name__ == "__main__":

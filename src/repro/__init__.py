@@ -7,27 +7,61 @@ analytical per-tile color adjustment, the Base+Delta substrate it
 feeds, the comparison baselines, the hardware/energy models, procedural
 evaluation scenes, and a simulated user study.
 
+Every frame coster — ``nocom``/``raw``, ``bd``, ``variable-bd``,
+``temporal-bd``, ``png``, ``scc``, and ``perceptual`` — lives behind
+one codec registry and encodes a shared, lazily-cached
+:class:`FrameContext`.
+
 Quick start::
 
-    import numpy as np
-    from repro import PerceptualEncoder, QUEST2_DISPLAY, render_scene
+    from repro import FrameContext, get_codec, render_scene
 
-    frame = render_scene("fortnite", 256, 256)           # linear RGB
-    ecc = QUEST2_DISPLAY.eccentricity_map(256, 256)       # centered gaze
-    result = PerceptualEncoder().encode_frame(frame, ecc)
-    print(result.breakdown.bits_per_pixel,
-          result.bandwidth_reduction_vs_bd)
+    frame = render_scene("fortnite", 256, 256)    # linear RGB
+    ctx = FrameContext(frame)                     # lazy sRGB / tiles / gaze
+    result = get_codec("perceptual").encode(ctx)  # an EncodedFrame
+    print(result.bits_per_pixel, result.bandwidth_reduction_vs_bd)
+
+Sweep several codecs over a frame sequence with shared context work::
+
+    from repro import encode_batch
+
+    results = encode_batch(frames, codecs=("bd", "png", "perceptual"))
+    print({name: sum(r.total_bits for r in rs) for name, rs in results.items()})
+
+The lower-level entry points remain available:
+``PerceptualEncoder().encode_frame(frame, eccentricity)`` returns the
+same :class:`FrameResult` the codec API does.
 """
 
+from .codecs import (
+    Codec,
+    CodecRegistry,
+    EncodedFrame,
+    FrameContext,
+    available_codecs,
+    encode_batch,
+    get_codec,
+    make_contexts,
+)
+from .codecs import register as register_codec
 from .core.pipeline import DEFAULT_FOVEAL_RADIUS_DEG, FrameResult, PerceptualEncoder
 from .encoding.bd import BDCodec
 from .perception.model import ParametricModel, RBFModel, ScaledModel, default_model
 from .scenes.display import QUEST2_DISPLAY, DisplayGeometry
 from .scenes.library import SCENE_NAMES, get_scene, render_scene
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Codec",
+    "CodecRegistry",
+    "EncodedFrame",
+    "FrameContext",
+    "available_codecs",
+    "encode_batch",
+    "get_codec",
+    "make_contexts",
+    "register_codec",
     "DEFAULT_FOVEAL_RADIUS_DEG",
     "FrameResult",
     "PerceptualEncoder",

@@ -7,23 +7,33 @@ Every baseline reduces to "how many bits does this frame cost":
 * **PNG** — lossless filter+DEFLATE coding;
 * **SCC** — constant index width from the set-cover table.
 
-:func:`baseline_bits` dispatches by name so experiments can sweep the
-whole roster with one loop.
+This module is now a thin back-compat shim over the unified codec
+registry (:mod:`repro.codecs`): :func:`baseline_bits` resolves the
+Fig. 10 name through :func:`repro.codecs.get_codec` and encodes a
+shared :class:`~repro.codecs.FrameContext`.  Unlike the old dispatch,
+per-codec keyword arguments are routed explicitly — ``tile_size`` is
+forwarded to BD (the only baseline that tiles) and *rejected* for
+NoCom/PNG/SCC, which used to silently ignore it.
+
+The scalar helpers (:func:`nocom_bits`, :func:`bd_bits`,
+:func:`scc_bits`) remain as primitive one-liners for direct use.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..codecs.context import FrameContext
+from ..codecs.registry import get_codec, resolve_codec_name
 from ..encoding.accounting import UNCOMPRESSED_BPP
 from ..encoding.bd import bd_breakdown
 from ..encoding.tiling import tile_frame
-from .png_codec import png_compressed_bits
 from .scc import DEFAULT_SCC_ECCENTRICITY, scc_bits_per_pixel
 
 __all__ = ["BASELINE_NAMES", "baseline_bits", "nocom_bits", "bd_bits", "scc_bits"]
 
-#: Baseline roster in the paper's plotting order.
+#: Baseline roster in the paper's plotting order.  Each entry resolves
+#: to a registered codec (a test keeps this in sync with the registry).
 BASELINE_NAMES = ("NoCom", "SCC", "BD", "PNG")
 
 
@@ -51,17 +61,29 @@ def scc_bits(
     return scc_bits_per_pixel(eccentricity) * _pixel_count(frame_srgb8)
 
 
-def baseline_bits(name: str, frame_srgb8: np.ndarray, tile_size: int = 4) -> int:
-    """Dispatch a baseline by its Fig. 10 name."""
+def baseline_bits(name: str, frame_srgb8: np.ndarray, tile_size: int | None = None) -> int:
+    """Dispatch a baseline by its Fig. 10 name via the codec registry.
+
+    ``tile_size`` is forwarded to the BD codec only; passing it for a
+    baseline that does not tile (NoCom, PNG, SCC) raises ``TypeError``
+    instead of being silently ignored, as the old dispatch did.
+    """
     frame = np.asarray(frame_srgb8)
     if frame.dtype != np.uint8:
         raise TypeError(f"baselines take uint8 sRGB frames, got dtype {frame.dtype}")
-    if name == "NoCom":
-        return nocom_bits(frame)
-    if name == "BD":
-        return bd_bits(frame, tile_size=tile_size)
-    if name == "PNG":
-        return png_compressed_bits(frame)
-    if name == "SCC":
-        return scc_bits(frame)
-    raise ValueError(f"unknown baseline {name!r}; expected one of {BASELINE_NAMES}")
+    try:
+        canonical = resolve_codec_name(name)
+    except KeyError:
+        canonical = None
+    if canonical is None or name not in BASELINE_NAMES:
+        raise ValueError(f"unknown baseline {name!r}; expected one of {BASELINE_NAMES}")
+    kwargs = {}
+    if canonical == "bd":
+        kwargs["tile_size"] = 4 if tile_size is None else tile_size
+    elif tile_size is not None:
+        raise TypeError(
+            f"baseline {name!r} does not tile the frame and takes no tile_size "
+            f"(only BD does)"
+        )
+    ctx = FrameContext.from_srgb8(frame)
+    return get_codec(canonical, **kwargs).encode(ctx).total_bits

@@ -6,8 +6,13 @@ line of Python.
 
     python -m repro list
     python -m repro fig10
+    python -m repro fig10 --codecs bd,png
     python -m repro fig13 --height 256 --width 256 --frames 2
     python -m repro all
+
+``all`` isolates failures: every experiment runs, a pass/fail summary
+is printed at the end, and the exit code is nonzero only if something
+failed.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import argparse
 import sys
 from typing import Callable
 
+from .codecs.registry import available_codecs, resolve_codec_name, streaming_codec_names
 from .experiments import (
     ExperimentConfig,
     fig02_ellipsoids,
@@ -71,6 +77,10 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "ext-foveation": (run_foveation_comparison, "foveation comparison"),
 }
 
+#: Experiments whose runner reads ``ExperimentConfig.codec_names``;
+#: ``--codecs`` is rejected when none of the selected experiments do.
+CODEC_SWEEP_EXPERIMENTS = frozenset({"fig10"})
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -89,7 +99,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--model", choices=("parametric", "rbf"), default="parametric",
         help="discrimination model implementation",
     )
+    parser.add_argument(
+        "--codecs", default=None, metavar="NAME[,NAME...]",
+        help="comma-separated codec-registry filter for the sweep "
+             "experiments (fig10's baseline roster); see 'list' for names",
+    )
     return parser
+
+
+def _parse_codecs(spec: str) -> tuple[str, ...]:
+    """Canonicalize a comma-separated ``--codecs`` value (KeyError if unknown)."""
+    names = tuple(token.strip() for token in spec.split(",") if token.strip())
+    if not names:
+        raise KeyError("--codecs needs at least one codec name")
+    return tuple(resolve_codec_name(name) for name in names)
+
+
+def _print_listing() -> None:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (_, description) in EXPERIMENTS.items():
+        print(f"{name:<{width}}  {description}")
+    print()
+    print(f"codecs    : {', '.join(available_codecs())}")
+    print(f"streaming : {', '.join(streaming_codec_names())}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -97,9 +129,7 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.experiment == "list":
-        width = max(len(name) for name in EXPERIMENTS)
-        for name, (_, description) in EXPERIMENTS.items():
-            print(f"{name:<{width}}  {description}")
+        _print_listing()
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -111,19 +141,53 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
+    codec_names = None
+    if args.codecs:
+        try:
+            codec_names = _parse_codecs(args.codecs)
+        except KeyError as exc:
+            print(f"bad --codecs value: {exc.args[0]}", file=sys.stderr)
+            return 2
+        if not any(name in CODEC_SWEEP_EXPERIMENTS for name in names):
+            print(
+                f"--codecs only affects {', '.join(sorted(CODEC_SWEEP_EXPERIMENTS))}; "
+                f"it would be ignored by {names[0]!r}",
+                file=sys.stderr,
+            )
+            return 2
+
     config = ExperimentConfig(
         height=args.height,
         width=args.width,
         n_frames=args.frames,
         seed=args.seed,
         model_kind=args.model,
+        codec_names=codec_names,
     )
+    isolate = len(names) > 1
+    failures: list[tuple[str, Exception]] = []
     for name in names:
         runner, description = EXPERIMENTS[name]
         print(f"== {name}: {description}")
-        print(runner(config).table())
+        if not isolate:
+            # Single-experiment runs propagate, keeping the full
+            # traceback; only multi-runs trade it for isolation.
+            print(runner(config).table())
+            print()
+            continue
+        try:
+            print(runner(config).table())
+        except Exception as exc:  # noqa: BLE001 - isolate per-experiment failures
+            failures.append((name, exc))
+            print(f"!! {name} failed: {type(exc).__name__}: {exc}", file=sys.stderr)
         print()
-    return 0
+
+    if isolate:
+        passed = len(names) - len(failures)
+        print(f"summary: {passed}/{len(names)} experiments passed")
+        for name, exc in failures:
+            print(f"  FAIL {name}: {type(exc).__name__}: {exc}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

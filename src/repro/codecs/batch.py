@@ -1,0 +1,94 @@
+"""Batch encoding: amortize context construction across a sequence.
+
+Sweeping several codecs over a frame sequence used to rebuild the same
+intermediates per (codec, frame) pair.  :func:`encode_batch` builds one
+:class:`~repro.codecs.context.FrameContext` per frame and runs every
+requested codec over the shared contexts, so each frame is sRGB
+quantized at most once and tiled at most once per tile size, and the
+eccentricity map (cached on the display geometry) is derived once for
+the whole sequence.  This is also the entry point later scaling work
+(sharding, async pipelines) hooks into: a batch is an explicit unit of
+work over explicit shared state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from .base import Codec, EncodedFrame
+from .context import FrameContext
+from .registry import get_codec, resolve_codec_name
+
+__all__ = ["make_contexts", "encode_batch"]
+
+
+def make_contexts(
+    frames: Iterable,
+    *,
+    srgb8: bool = False,
+    **context_kwargs,
+) -> list[FrameContext]:
+    """One :class:`FrameContext` per frame, sharing display/gaze setup.
+
+    ``frames`` are linear-RGB frames unless ``srgb8=True`` (uint8 sRGB).
+    Remaining keyword arguments (``display``, ``fixation``,
+    ``eccentricity``) are forwarded to every context.
+    """
+    if srgb8:
+        return [FrameContext.from_srgb8(frame, **context_kwargs) for frame in frames]
+    return [FrameContext(frame, **context_kwargs) for frame in frames]
+
+
+def encode_batch(
+    frames: Iterable | None = None,
+    ctxs: Sequence[FrameContext] | None = None,
+    codecs: Sequence = ("perceptual",),
+    *,
+    codec_options: Mapping[str, Mapping] | None = None,
+    **context_kwargs,
+) -> dict[str, list[EncodedFrame]]:
+    """Encode a frame sequence with one or more codecs, sharing context.
+
+    Parameters
+    ----------
+    frames:
+        Linear-RGB frames to encode (ignored if ``ctxs`` is given).
+    ctxs:
+        Pre-built contexts, e.g. from :func:`make_contexts`; pass these
+        to reuse caches across separate ``encode_batch`` calls.
+    codecs:
+        Codec names (registry lookup) and/or ready :class:`Codec`
+        instances.
+    codec_options:
+        Per-codec constructor kwargs keyed by codec name, e.g.
+        ``{"bd": {"tile_size": 8}}``.
+    context_kwargs:
+        Forwarded to :func:`make_contexts` (``display``, ``fixation``,
+        ``eccentricity``, ``srgb8``).
+
+    Returns
+    -------
+    dict
+        Canonical codec name -> list of :class:`EncodedFrame`, one per
+        frame, in input order.
+    """
+    if ctxs is None:
+        if frames is None:
+            raise ValueError("encode_batch needs frames or ctxs")
+        ctxs = make_contexts(frames, **context_kwargs)
+    elif context_kwargs:
+        raise ValueError("context kwargs have no effect when ctxs are pre-built")
+
+    options = dict(codec_options or {})
+    results: dict[str, list[EncodedFrame]] = {}
+    for entry in codecs:
+        if isinstance(entry, Codec):
+            codec, key = entry, entry.name or type(entry).__name__
+        else:
+            key = resolve_codec_name(entry)
+            codec = get_codec(key, **dict(options.get(key, options.get(entry, {}))))
+        if key in results:
+            raise ValueError(f"codec {key!r} listed twice in one batch")
+        codec.reset()
+        results[key] = codec.encode_batch(ctxs)
+    return results

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..codecs.base import EncodedFrame
 from ..color.srgb import encode_srgb8
 from ..encoding.accounting import SizeBreakdown
 from ..encoding.bd import bd_breakdown
@@ -40,9 +41,14 @@ __all__ = ["FrameResult", "PerceptualEncoder", "DEFAULT_FOVEAL_RADIUS_DEG"]
 DEFAULT_FOVEAL_RADIUS_DEG = 10.0
 
 
-@dataclass(frozen=True)
-class FrameResult:
+@dataclass(frozen=True, kw_only=True)
+class FrameResult(EncodedFrame):
     """Everything produced by encoding one frame.
+
+    A :class:`~repro.codecs.base.EncodedFrame` (codec ``"perceptual"``)
+    carrying the generic fields — ``total_bits``, ``breakdown``, and
+    ``reconstruction`` (the adjusted sRGB frame) — plus the
+    pipeline-specific diagnostics below.
 
     Attributes
     ----------
@@ -50,14 +56,14 @@ class FrameResult:
         Perceptually adjusted frame, linear RGB, original size.
     adjusted_srgb:
         The adjusted frame quantized to uint8 sRGB (what gets BD
-        encoded and eventually displayed).
+        encoded and eventually displayed); also exposed as the generic
+        ``reconstruction``.
     original_srgb:
         The unadjusted frame quantized to uint8 sRGB — the baseline BD
         input.
-    breakdown:
-        BD size accounting for the adjusted frame (ours).
     baseline_breakdown:
-        BD size accounting for the original frame (the BD baseline).
+        BD size accounting for the original frame (the BD baseline);
+        the inherited ``breakdown`` accounts the adjusted frame (ours).
     case2_fraction:
         Fraction of tiles whose winning adjustment found a common plane
         (paper Fig. 12's ``c2``).
@@ -74,7 +80,6 @@ class FrameResult:
     adjusted_frame: np.ndarray
     adjusted_srgb: np.ndarray
     original_srgb: np.ndarray
-    breakdown: SizeBreakdown
     baseline_breakdown: SizeBreakdown
     case2_fraction: float
     axis_fractions: dict[int, float]
@@ -180,11 +185,16 @@ class PerceptualEncoder:
             int(a): float(c) / grid.n_tiles for a, c in zip(axis_values, axis_counts)
         }
 
+        adjusted_srgb_frame = untile_frame(optimized.adjusted_srgb, grid)
         return FrameResult(
-            adjusted_frame=untile_frame(optimized.adjusted, grid),
-            adjusted_srgb=untile_frame(optimized.adjusted_srgb, grid),
-            original_srgb=untile_frame(original_srgb_tiles, grid),
+            codec="perceptual",
+            total_bits=breakdown.total_bits,
+            n_pixels=n_pixels,
             breakdown=breakdown,
+            reconstruction=adjusted_srgb_frame,
+            adjusted_frame=untile_frame(optimized.adjusted, grid),
+            adjusted_srgb=adjusted_srgb_frame,
+            original_srgb=untile_frame(original_srgb_tiles, grid),
             baseline_breakdown=baseline,
             case2_fraction=float(optimized.case2.mean()),
             axis_fractions=axis_fractions,

@@ -42,6 +42,10 @@ class ExperimentConfig:
         Scenes to evaluate, in plotting order.
     seed:
         Master seed for anything stochastic (the study harness).
+    codec_names:
+        Optional codec-registry filter for the sweep experiments
+        (fig10's baseline roster); ``None`` runs each experiment's
+        default roster.  Set from the CLI's ``--codecs`` flag.
     """
 
     height: int = 256
@@ -52,6 +56,7 @@ class ExperimentConfig:
     scene_names: tuple[str, ...] = SCENE_NAMES
     display: DisplayGeometry = QUEST2_DISPLAY
     seed: int = 7
+    codec_names: tuple[str, ...] | None = None
 
     def __post_init__(self):
         if self.height < 8 or self.width < 8:

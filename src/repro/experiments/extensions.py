@@ -23,10 +23,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..color.srgb import encode_srgb8
-from ..encoding.bd import bd_breakdown
-from ..encoding.bd_variable import variable_bd_breakdown
-from ..encoding.tiling import tile_frame
+from ..codecs.context import FrameContext
+from ..codecs.registry import get_codec
+from ..codecs.wrappers import PerceptualCodec
 from ..perception.adaptation import DarkAdaptedModel
 from ..perception.model import ParametricModel
 from ..scenes.library import get_scene
@@ -188,9 +187,12 @@ def run_variable_bd(
 ) -> VariableBDResult:
     """Measure footnote 1's variable-width extension on the scene suite."""
     config = config or ExperimentConfig()
-    encoder = encoder_for(config)
+    perceptual = PerceptualCodec(encoder=encoder_for(config))
+    fixed = get_codec("bd", tile_size=config.tile_size)
+    variable = get_codec(
+        "variable-bd", tile_size=config.tile_size, group_size=group_size
+    )
     eccentricity = config.eccentricity_map()
-    n_pixels = config.height * config.width
 
     totals = {
         "BD fixed": 0.0,
@@ -201,21 +203,15 @@ def run_variable_bd(
     count = 0
     for name in config.scene_names:
         for frame in render_eval_frames(config, name):
-            original_tiles, _ = tile_frame(encode_srgb8(frame), config.tile_size)
-            result = encoder.encode_frame(frame, eccentricity)
-            adjusted_tiles, _ = tile_frame(result.adjusted_srgb, config.tile_size)
-            totals["BD fixed"] += bd_breakdown(
-                original_tiles, n_pixels=n_pixels
-            ).bits_per_pixel
-            totals["BD variable"] += variable_bd_breakdown(
-                original_tiles, group_size, n_pixels=n_pixels
-            ).bits_per_pixel
-            totals["ours fixed"] += bd_breakdown(
-                adjusted_tiles, n_pixels=n_pixels
-            ).bits_per_pixel
-            totals["ours variable"] += variable_bd_breakdown(
-                adjusted_tiles, group_size, n_pixels=n_pixels
-            ).bits_per_pixel
+            # One context per frame (original) and per adjusted output:
+            # fixed- and variable-width BD share each context's tiling.
+            original = FrameContext(frame, eccentricity=eccentricity)
+            result = perceptual.encode(original)
+            adjusted = FrameContext.from_srgb8(result.adjusted_srgb)
+            totals["BD fixed"] += fixed.encode(original).bits_per_pixel
+            totals["BD variable"] += variable.encode(original).bits_per_pixel
+            totals["ours fixed"] += fixed.encode(adjusted).bits_per_pixel
+            totals["ours variable"] += variable.encode(adjusted).bits_per_pixel
             count += 1
     return VariableBDResult(bpp={k: v / count for k, v in totals.items()})
 

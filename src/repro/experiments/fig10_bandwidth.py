@@ -4,6 +4,12 @@ For each scene the paper plots the bandwidth reduction (relative to the
 uncompressed frame) achieved by SCC, BD, PNG and the proposed scheme.
 Headline numbers: ours averages 66.9% over NoCom, 50.3% over SCC and
 15.6% (up to 20.4%) over BD; PNG beats ours on two scenes.
+
+All methods dispatch through the unified codec registry and share one
+:class:`~repro.codecs.FrameContext` per frame, so a frame is sRGB
+quantized once and tiled once however many codecs sweep it.  The
+baseline roster is configurable via ``ExperimentConfig.codec_names``
+(the CLI's ``--codecs``); the default is the paper's Fig. 10 set.
 """
 
 from __future__ import annotations
@@ -12,12 +18,21 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..baselines.registry import BASELINE_NAMES, baseline_bits
-from ..color.srgb import encode_srgb8
+from ..baselines.registry import BASELINE_NAMES
+from ..codecs.context import FrameContext
+from ..codecs.registry import get_codec, resolve_codec_name
+from ..codecs.wrappers import PerceptualCodec
 from ..encoding.accounting import UNCOMPRESSED_BPP
 from .common import ExperimentConfig, encoder_for, format_table, render_eval_frames
 
 __all__ = ["SceneBandwidth", "BandwidthResult", "run"]
+
+#: Fig. 10 display names of the canonical codecs; other registry codecs
+#: (e.g. ``variable-bd`` via ``--codecs``) are shown under their own name.
+_DISPLAY_NAMES = {"nocom": "NoCom", "scc": "SCC", "bd": "BD", "png": "PNG"}
+
+#: Codecs that take the experiment's tile size.
+_TILED_CODECS = ("bd", "variable-bd", "temporal-bd")
 
 
 @dataclass(frozen=True)
@@ -42,6 +57,11 @@ class BandwidthResult:
 
     scenes: list[SceneBandwidth]
 
+    def methods(self) -> list[str]:
+        """Method columns present in this run, "Ours" last."""
+        ordered = [m for m in self.scenes[0].bpp if m != "Ours"]
+        return ordered + ["Ours"]
+
     def mean_reduction_vs(self, method: str) -> float:
         return float(np.mean([s.ours_reduction_vs(method) for s in self.scenes]))
 
@@ -53,40 +73,64 @@ class BandwidthResult:
         return sum(1 for s in self.scenes if s.bpp["PNG"] < s.bpp["Ours"])
 
     def table(self) -> str:
-        headers = ["scene"] + [f"{m} red%" for m in ("SCC", "BD", "PNG", "Ours")]
+        columns = [m for m in self.methods() if m != "NoCom"]
+        headers = ["scene"] + [f"{m} red%" for m in columns]
         rows = [
-            [s.scene] + [100.0 * s.reduction(m) for m in ("SCC", "BD", "PNG", "Ours")]
+            [s.scene] + [100.0 * s.reduction(m) for m in columns]
             for s in self.scenes
         ]
-        summary = (
-            f"ours vs NoCom {100 * self.mean_reduction_vs('NoCom'):.1f}% | "
-            f"vs SCC {100 * self.mean_reduction_vs('SCC'):.1f}% | "
-            f"vs BD mean {100 * self.mean_reduction_vs('BD'):.1f}% "
-            f"max {100 * self.max_reduction_vs('BD'):.1f}% | PNG wins {self.png_wins()}"
-        )
-        return format_table(headers, rows, precision=1) + "\n" + summary
+        present = set(self.methods())
+        summary_parts = [
+            f"ours vs {m} {100 * self.mean_reduction_vs(m):.1f}%"
+            for m in ("NoCom", "SCC") if m in present
+        ]
+        if "BD" in present:
+            summary_parts.append(
+                f"vs BD mean {100 * self.mean_reduction_vs('BD'):.1f}% "
+                f"max {100 * self.max_reduction_vs('BD'):.1f}%"
+            )
+        if "PNG" in present:
+            summary_parts.append(f"PNG wins {self.png_wins()}")
+        return format_table(headers, rows, precision=1) + "\n" + " | ".join(summary_parts)
 
 
 def run(config: ExperimentConfig | None = None) -> BandwidthResult:
     """Measure every method on every scene and collate Fig. 10."""
     config = config or ExperimentConfig()
-    encoder = encoder_for(config)
+    roster = config.codec_names if config.codec_names else BASELINE_NAMES
+    # "Ours" (the configured perceptual encoder) is always measured;
+    # requesting "perceptual" in the roster would re-run it with
+    # default parameters, so it is folded into the Ours column.
+    canonical = [
+        name
+        for name in (resolve_codec_name(entry) for entry in roster)
+        if name != "perceptual"
+    ]
+    labels = [_DISPLAY_NAMES.get(name, name) for name in canonical]
+    codecs = {
+        label: get_codec(
+            name,
+            **({"tile_size": config.tile_size} if name in _TILED_CODECS else {}),
+        )
+        for label, name in zip(labels, canonical)
+    }
+    codecs["Ours"] = PerceptualCodec(encoder=encoder_for(config))
     eccentricity = config.eccentricity_map()
     n_pixels = config.height * config.width
 
     scenes = []
     for name in config.scene_names:
-        totals = {method: 0.0 for method in (*BASELINE_NAMES, "Ours")}
         frames = render_eval_frames(config, name)
-        for frame in frames:
-            srgb = encode_srgb8(frame)
-            for method in BASELINE_NAMES:
-                totals[method] += baseline_bits(method, srgb, tile_size=config.tile_size)
-            result = encoder.encode_frame(frame, eccentricity)
-            totals["Ours"] += result.breakdown.total_bits
-        bpp = {
-            method: bits / (n_pixels * len(frames)) for method, bits in totals.items()
-        }
+        # One shared context per frame for the whole codec roster.
+        ctxs = [
+            FrameContext(frame, eccentricity=eccentricity, display=config.display)
+            for frame in frames
+        ]
+        bpp = {}
+        for label, codec in codecs.items():
+            codec.reset()
+            total = sum(r.total_bits for r in codec.encode_batch(ctxs))
+            bpp[label] = total / (n_pixels * len(frames))
         scenes.append(SceneBandwidth(scene=name, bpp=bpp))
     return BandwidthResult(scenes=scenes)
 

@@ -13,6 +13,7 @@ and the four refresh rates.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -31,6 +32,11 @@ QUEST2_LOW_RESOLUTION = (2096, 4128)  # (height, width)
 QUEST2_HIGH_RESOLUTION = (2736, 5408)
 #: Refresh rates available on Quest 2 (paper Fig. 13).
 QUEST2_REFRESH_RATES = (72, 80, 90, 120)
+
+#: Largest eccentricity map (bytes) retained by the per-geometry cache.
+#: 8 MB holds a 1024x1024 float64 map; bounding per-entry size keeps
+#: the 32-entry cache under ~256 MB even for adversarial gaze sweeps.
+_CACHE_MAP_BYTES_LIMIT = 8 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -84,19 +90,46 @@ class DisplayGeometry:
         fixation:
             Gaze point in normalized image coordinates ``(x, y)`` with
             ``(0.5, 0.5)`` the screen center; must lie within the frame.
+
+        Notes
+        -----
+        Maps are cached per ``(geometry, height, width, fixation)`` —
+        encoders ask for the same map every frame — and returned as
+        read-only arrays so one caller cannot corrupt another's view.
+        Copy before mutating.  Maps larger than
+        :data:`_CACHE_MAP_BYTES_LIMIT` bypass the cache (a
+        gaze-contingent sweep at headset resolution would otherwise
+        pin gigabytes); they stay transient per call, as before.
         """
         if height < 1 or width < 1:
             raise ValueError(f"frame must be non-empty, got {height}x{width}")
         fx, fy = fixation
         if not (0.0 <= fx <= 1.0 and 0.0 <= fy <= 1.0):
             raise ValueError(f"fixation must be within [0, 1]^2, got {fixation}")
+        key = (int(height), int(width), (float(fx), float(fy)))
+        if height * width * 8 > _CACHE_MAP_BYTES_LIMIT:
+            return self._compute_eccentricity_map(*key)
+        return self._eccentricity_map_cached(*key)
+
+    @lru_cache(maxsize=32)
+    def _eccentricity_map_cached(
+        self, height: int, width: int, fixation: tuple[float, float]
+    ) -> np.ndarray:
+        return self._compute_eccentricity_map(height, width, fixation)
+
+    def _compute_eccentricity_map(
+        self, height: int, width: int, fixation: tuple[float, float]
+    ) -> np.ndarray:
+        fx, fy = fixation
         rays = self._view_rays(height, width)
         tan_h = np.tan(np.radians(self.fov_horizontal_deg / 2.0))
         tan_v = np.tan(np.radians(self.fov_vertical_deg / 2.0))
         gaze = np.array([(fx * 2 - 1) * tan_h, (fy * 2 - 1) * tan_v, 1.0])
         gaze /= np.linalg.norm(gaze)
         cosines = np.clip(rays @ gaze, -1.0, 1.0)
-        return np.degrees(np.arccos(cosines))
+        ecc = np.degrees(np.arccos(cosines))
+        ecc.setflags(write=False)
+        return ecc
 
 
 #: Default headset geometry used throughout the experiments.

@@ -13,7 +13,8 @@ end to end:
 
 Video codecs are out of scope by the paper's own argument (they buffer
 frame sequences, violating the per-frame latency requirement), so the
-comparison set is per-frame codecs: raw, BD, and perceptual+BD.
+comparison set is the registry's per-frame codecs: raw, BD, variable
+BD, and perceptual+BD.
 """
 
 from __future__ import annotations
@@ -22,19 +23,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..color.srgb import encode_srgb8
+from ..codecs.context import FrameContext
+from ..codecs.registry import get_codec, streaming_codec_names
 from ..core.pipeline import PerceptualEncoder
-from ..encoding.accounting import UNCOMPRESSED_BPP
-from ..encoding.bd import bd_breakdown
-from ..encoding.tiling import tile_frame
 from ..scenes.display import QUEST2_DISPLAY, DisplayGeometry
 from ..scenes.library import Scene
 from .link import WirelessLink
 
 __all__ = ["FrameTiming", "SessionReport", "simulate_session", "ENCODER_CHOICES"]
 
-#: Valid per-frame encoder choices for a session.
-ENCODER_CHOICES = ("raw", "bd", "perceptual")
+#: Valid per-frame encoder choices for a session, derived from the
+#: codec registry (every codec registered with a ``streaming`` name).
+ENCODER_CHOICES = streaming_codec_names()
 
 
 @dataclass(frozen=True)
@@ -90,23 +90,6 @@ class SessionReport:
         return self.sustainable_fps >= self.target_fps
 
 
-def _encode_payload_bits(
-    encoder_name: str,
-    frame_linear: np.ndarray,
-    eccentricity: np.ndarray,
-    perceptual: PerceptualEncoder,
-    tile_size: int,
-) -> int:
-    if encoder_name == "raw":
-        return int(UNCOMPRESSED_BPP) * frame_linear.shape[0] * frame_linear.shape[1]
-    if encoder_name == "bd":
-        tiles, grid = tile_frame(encode_srgb8(frame_linear), tile_size)
-        return bd_breakdown(tiles, n_pixels=grid.height * grid.width).total_bits
-    if encoder_name == "perceptual":
-        return perceptual.encode_frame(frame_linear, eccentricity).breakdown.total_bits
-    raise ValueError(f"unknown encoder {encoder_name!r}; expected one of {ENCODER_CHOICES}")
-
-
 def simulate_session(
     scene: Scene,
     link: WirelessLink,
@@ -137,15 +120,28 @@ def simulate_session(
         raise ValueError("encode_throughput_mpixels_s must be positive")
 
     perceptual = perceptual_encoder if perceptual_encoder is not None else PerceptualEncoder()
-    eccentricity = display.eccentricity_map(height, width)
+    # Per-frame codec from the registry; session-level knobs are routed
+    # explicitly to the codecs that take them.
+    if encoder == "perceptual":
+        codec = get_codec(encoder, encoder=perceptual)
+    elif encoder in ("bd", "variable-bd"):
+        codec = get_codec(encoder, tile_size=perceptual.tile_size)
+    else:
+        codec = get_codec(encoder)
+
+    eccentricity = display.eccentricity_map(height, width)  # cached on display
     rng = np.random.default_rng(seed)
     encode_rate_pixels_s = encode_throughput_mpixels_s * 1e6
 
     frames = []
     for index in range(n_frames):
         left, right = scene.render_stereo(height, width, frame=index)
+        # One shared context per eye per frame: quantization, tiling
+        # and the eccentricity map are derived at most once each.
         payload = sum(
-            _encode_payload_bits(encoder, eye, eccentricity, perceptual, perceptual.tile_size)
+            codec.encode(
+                FrameContext(eye, eccentricity=eccentricity, display=display)
+            ).total_bits
             for eye in (left, right)
         )
         encode_time = 2 * height * width / encode_rate_pixels_s

@@ -1,0 +1,105 @@
+"""Tests for batch encoding and its shared-context amortization."""
+
+import numpy as np
+import pytest
+
+from repro.codecs import (
+    FrameContext,
+    encode_batch,
+    get_codec,
+    make_contexts,
+)
+from repro.core.pipeline import FrameResult
+from repro.scenes.library import render_scene
+
+
+@pytest.fixture(scope="module")
+def frames():
+    return [render_scene("office", 32, 32, frame=i) for i in range(8)]
+
+
+class TestAmortization:
+    def test_eight_frames_quantize_and_tile_once_each(self, frames):
+        """The acceptance criterion: sweeping several codecs over 8
+        frames derives each frame's shared context at most once."""
+        ctxs = make_contexts(frames)
+        results = encode_batch(
+            ctxs=ctxs, codecs=("nocom", "bd", "png", "variable-bd", "temporal-bd")
+        )
+        assert all(len(per_frame) == 8 for per_frame in results.values())
+        for ctx in ctxs:
+            assert ctx.stats["quantize"] <= 1
+            # bd, variable-bd and temporal-bd all share one 4x4 pass.
+            assert ctx.stats["tile"] <= 1
+            assert ctx.stats["eccentricity"] == 0  # nobody needed gaze
+
+    def test_contexts_reusable_across_calls(self, frames):
+        ctxs = make_contexts(frames[:2])
+        encode_batch(ctxs=ctxs, codecs=("bd",))
+        encode_batch(ctxs=ctxs, codecs=("variable-bd",))
+        for ctx in ctxs:
+            assert ctx.stats["tile"] == 1
+
+    def test_eccentricity_shared_when_passed(self, frames):
+        ecc = np.full((32, 32), 20.0)
+        ctxs = make_contexts(frames[:2], eccentricity=ecc)
+        for ctx in ctxs:
+            assert ctx.eccentricity is ecc
+
+
+class TestSemantics:
+    def test_results_keyed_by_canonical_name(self, frames):
+        results = encode_batch(frames[:2], codecs=("raw", "BD"))
+        assert set(results) == {"nocom", "bd"}
+
+    def test_codec_options_routed(self, frames):
+        fine = encode_batch(frames[:1], codecs=("bd",))
+        coarse = encode_batch(
+            frames[:1], codecs=("bd",), codec_options={"bd": {"tile_size": 16}}
+        )
+        assert fine["bd"][0].total_bits != coarse["bd"][0].total_bits
+
+    def test_codec_instances_accepted(self, frames):
+        codec = get_codec("bd", tile_size=8)
+        results = encode_batch(frames[:2], codecs=(codec,))
+        assert set(results) == {"bd"}
+
+    def test_duplicate_codec_rejected(self, frames):
+        with pytest.raises(ValueError, match="twice"):
+            encode_batch(frames[:1], codecs=("bd", "BD"))
+
+    def test_needs_frames_or_ctxs(self):
+        with pytest.raises(ValueError, match="frames or ctxs"):
+            encode_batch()
+
+    def test_context_kwargs_conflict_with_prebuilt_ctxs(self, frames):
+        ctxs = make_contexts(frames[:1])
+        with pytest.raises(ValueError, match="no effect"):
+            encode_batch(ctxs=ctxs, codecs=("bd",), fixation=(0.2, 0.2))
+
+    def test_perceptual_batch_returns_frame_results(self, frames):
+        ecc = np.full((32, 32), 25.0)
+        results = encode_batch(frames[:2], codecs=("perceptual",), eccentricity=ecc)
+        for result in results["perceptual"]:
+            assert isinstance(result, FrameResult)
+            assert result.total_bits == result.breakdown.total_bits
+
+
+class TestTemporalState:
+    def test_temporal_bd_exploits_still_frames(self, frames):
+        still = [frames[0], frames[0], frames[0]]
+        results = encode_batch(still, codecs=("temporal-bd", "bd"))
+        temporal = [r.total_bits for r in results["temporal-bd"]]
+        spatial = [r.total_bits for r in results["bd"]]
+        # First frame has no reference; later identical frames are
+        # far cheaper than spatial BD.
+        assert temporal[1] < spatial[1]
+        assert temporal[2] < spatial[2]
+
+    def test_batches_do_not_leak_state(self, frames):
+        codec = get_codec("temporal-bd")
+        first = codec.encode_batch(make_contexts([frames[0]]))[0]
+        again = codec.encode_batch(make_contexts([frames[0]]))[0]
+        # encode_batch resets: the second batch's first frame is fully
+        # spatial again, not temporal against the previous batch.
+        assert first.total_bits == again.total_bits

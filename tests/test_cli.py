@@ -2,6 +2,7 @@
 
 import pytest
 
+import repro.cli as cli
 from repro.cli import EXPERIMENTS, main
 
 
@@ -10,6 +11,12 @@ class TestList:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         for name in ("fig10", "sec61", "ext-rd"):
+            assert name in out
+
+    def test_list_includes_codec_registry(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        for name in ("codecs", "perceptual", "variable-bd", "streaming"):
             assert name in out
 
     def test_registry_covers_all_paper_figures(self):
@@ -38,3 +45,74 @@ class TestRun:
             ["fig02", "--height", "96", "--width", "96", "--frames", "1", "--seed", "3"]
         )
         assert code == 0
+
+
+class TestCodecFilter:
+    def test_fig10_with_codec_filter(self, capsys):
+        code = main(
+            ["fig10", "--codecs", "bd,png", "--height", "96", "--width", "96",
+             "--frames", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BD red%" in out and "PNG red%" in out and "Ours" in out
+        assert "SCC red%" not in out
+
+    def test_codec_aliases_accepted(self, capsys):
+        code = main(
+            ["fig10", "--codecs", "NoCom,BD", "--height", "96", "--width", "96",
+             "--frames", "1"]
+        )
+        assert code == 0
+
+    def test_unknown_codec_fails_cleanly(self, capsys):
+        assert main(["fig10", "--codecs", "h265"]) == 2
+        assert "bad --codecs" in capsys.readouterr().err
+
+    def test_empty_codec_list_fails_cleanly(self, capsys):
+        assert main(["fig10", "--codecs", " , "]) == 2
+
+    def test_codecs_rejected_for_non_sweep_experiment(self, capsys):
+        """--codecs must not be silently ignored."""
+        assert main(["fig11", "--codecs", "png"]) == 2
+        assert "would be ignored" in capsys.readouterr().err
+
+
+class TestAllIsolation:
+    """`all` runs every experiment, isolating per-experiment failures."""
+
+    @pytest.fixture()
+    def fake_experiments(self, monkeypatch):
+        def ok(_config):
+            class _Result:
+                def table(self):
+                    return "ok-table"
+            return _Result()
+
+        def boom(_config):
+            raise RuntimeError("deliberate failure")
+
+        monkeypatch.setattr(
+            cli, "EXPERIMENTS",
+            {"good": (ok, "works"), "bad": (boom, "fails"), "good2": (ok, "works")},
+        )
+
+    def test_all_continues_past_failures(self, fake_experiments, capsys):
+        assert main(["all"]) == 1
+        captured = capsys.readouterr()
+        # Both healthy experiments still ran.
+        assert captured.out.count("ok-table") == 2
+        assert "deliberate failure" in captured.err
+        assert "summary: 2/3 experiments passed" in captured.out
+        assert "FAIL bad" in captured.out
+
+    def test_all_green_returns_zero(self, fake_experiments, monkeypatch, capsys):
+        healthy = {k: v for k, v in cli.EXPERIMENTS.items() if k != "bad"}
+        monkeypatch.setattr(cli, "EXPERIMENTS", healthy)
+        assert main(["all"]) == 0
+        assert "summary: 2/2 experiments passed" in capsys.readouterr().out
+
+    def test_single_experiment_failure_propagates(self, fake_experiments):
+        """Single runs keep the full traceback instead of isolating."""
+        with pytest.raises(RuntimeError, match="deliberate failure"):
+            main(["bad"])
