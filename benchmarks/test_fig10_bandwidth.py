@@ -4,11 +4,13 @@ Paper reference points: ours saves 66.9% vs NoCom, 50.3% vs SCC, 15.6%
 mean / 20.4% max vs BD; PNG out-compresses ours on two scenes.
 """
 
+import pytest
 from conftest import run_once
 
 from repro.experiments import fig10_bandwidth
 
 
+@pytest.mark.slow  # the heaviest figure: every codec x every scene
 def test_fig10_bandwidth(benchmark, eval_config):
     result = run_once(benchmark, fig10_bandwidth.run, eval_config)
     print("\n[Fig. 10] bandwidth reduction vs baselines")

@@ -49,8 +49,17 @@ from .encoding.bd import BDCodec
 from .perception.model import ParametricModel, RBFModel, ScaledModel, default_model
 from .scenes.display import QUEST2_DISPLAY, DisplayGeometry
 from .scenes.library import SCENE_NAMES, get_scene, render_scene
+from .streaming import (
+    WIFI6_LINK,
+    WIGIG_LINK,
+    ClientConfig,
+    FleetReport,
+    WirelessLink,
+    simulate_fleet,
+    simulate_session,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Codec",
@@ -75,5 +84,12 @@ __all__ = [
     "SCENE_NAMES",
     "get_scene",
     "render_scene",
+    "WIFI6_LINK",
+    "WIGIG_LINK",
+    "ClientConfig",
+    "FleetReport",
+    "WirelessLink",
+    "simulate_fleet",
+    "simulate_session",
     "__version__",
 ]

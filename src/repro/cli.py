@@ -24,6 +24,7 @@ from typing import Callable
 from .codecs.registry import available_codecs, resolve_codec_name, streaming_codec_names
 from .experiments import (
     ExperimentConfig,
+    fleet as fleet_experiment,
     fig02_ellipsoids,
     fig10_bandwidth,
     fig11_bits,
@@ -50,6 +51,8 @@ from .experiments.quality import (
     run_foveation_comparison,
     run_rate_distortion,
 )
+from .streaming.link import WIFI6_LINK, WirelessLink
+from .streaming.server import SCHEDULER_CHOICES
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -75,11 +78,12 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "ext-rd": (run_rate_distortion, "rate-distortion sweep"),
     "ext-flicker": (run_flicker, "temporal stability"),
     "ext-foveation": (run_foveation_comparison, "foveation comparison"),
+    "fleet": (fleet_experiment.run, "multi-client fleet contention study"),
 }
 
 #: Experiments whose runner reads ``ExperimentConfig.codec_names``;
 #: ``--codecs`` is rejected when none of the selected experiments do.
-CODEC_SWEEP_EXPERIMENTS = frozenset({"fig10"})
+CODEC_SWEEP_EXPERIMENTS = frozenset({"fig10", "fleet"})
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -102,7 +106,25 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--codecs", default=None, metavar="NAME[,NAME...]",
         help="comma-separated codec-registry filter for the sweep "
-             "experiments (fig10's baseline roster); see 'list' for names",
+             "experiments (fig10's baseline roster, fleet's per-client "
+             "cycle); see 'list' for names",
+    )
+    fleet_group = parser.add_argument_group("fleet options")
+    fleet_group.add_argument(
+        "--clients", type=int, default=None, metavar="N",
+        help="fleet only: number of headset clients sharing the link (default 4)",
+    )
+    fleet_group.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fleet only: process-pool width for per-client encoding (default 1)",
+    )
+    fleet_group.add_argument(
+        "--scheduler", choices=SCHEDULER_CHOICES, default=None,
+        help="fleet only: link scheduling discipline (default fair)",
+    )
+    fleet_group.add_argument(
+        "--bandwidth", type=float, default=None, metavar="MBPS",
+        help="fleet only: shared link bandwidth in Mbps (default WiFi6, 400)",
     )
     return parser
 
@@ -155,6 +177,56 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+        if names == ["fleet"]:
+            # Fail fast on codecs that cannot stream (png, scc, ...).
+            # Multi-experiment runs (e.g. ``all``) keep the full roster
+            # for the sweep experiments; the fleet cycles over the
+            # streaming-capable subset (see ``run_fleet``).
+            try:
+                for codec_name in codec_names:
+                    fleet_experiment.streaming_codec_name(codec_name)
+            except ValueError as exc:
+                print(f"bad --codecs value: {exc}", file=sys.stderr)
+                return 2
+
+    fleet_values = {
+        "--clients": args.clients,
+        "--jobs": args.jobs,
+        "--scheduler": args.scheduler,
+        "--bandwidth": args.bandwidth,
+    }
+    flags_set = [flag for flag, value in fleet_values.items() if value is not None]
+    if flags_set and "fleet" not in names:
+        print(
+            f"{', '.join(flags_set)} only affect the fleet experiment; "
+            f"ignored by {names[0]!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.clients is not None and args.clients < 1:
+        print("--clients must be >= 1", file=sys.stderr)
+        return 2
+    if args.jobs is not None and args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.bandwidth is not None and args.bandwidth <= 0:
+        print("--bandwidth must be positive (Mbps)", file=sys.stderr)
+        return 2
+    fleet_kwargs = dict(
+        n_clients=args.clients if args.clients is not None else 4,
+        n_jobs=args.jobs if args.jobs is not None else 1,
+        scheduler=args.scheduler if args.scheduler is not None else "fair",
+        link=(
+            # Same propagation as the WiFi6 default so bandwidth sweeps
+            # change exactly one variable.
+            WirelessLink(
+                bandwidth_mbps=args.bandwidth,
+                propagation_ms=WIFI6_LINK.propagation_ms,
+            )
+            if args.bandwidth is not None
+            else WIFI6_LINK
+        ),
+    )
 
     config = ExperimentConfig(
         height=args.height,
@@ -164,6 +236,17 @@ def main(argv: list[str] | None = None) -> int:
         model_kind=args.model,
         codec_names=codec_names,
     )
+    def invoke(name: str, runner: Callable):
+        # The fleet experiment has its own knobs beyond ExperimentConfig.
+        # Multi-experiment runs share one --codecs filter, so the fleet
+        # tolerates (skips) codecs that cannot stream; a sole fleet run
+        # was already strictly validated above.
+        if name == "fleet":
+            return fleet_experiment.run_fleet(
+                config, lenient_codecs=len(names) > 1, **fleet_kwargs
+            )
+        return runner(config)
+
     isolate = len(names) > 1
     failures: list[tuple[str, Exception]] = []
     for name in names:
@@ -172,11 +255,11 @@ def main(argv: list[str] | None = None) -> int:
         if not isolate:
             # Single-experiment runs propagate, keeping the full
             # traceback; only multi-runs trade it for isolation.
-            print(runner(config).table())
+            print(invoke(name, runner).table())
             print()
             continue
         try:
-            print(runner(config).table())
+            print(invoke(name, runner).table())
         except Exception as exc:  # noqa: BLE001 - isolate per-experiment failures
             failures.append((name, exc))
             print(f"!! {name} failed: {type(exc).__name__}: {exc}", file=sys.stderr)

@@ -119,6 +119,11 @@ class Codec(abc.ABC):
     #: Registry name; set by ``@register`` at class registration.
     name: str = ""
 
+    #: Whether :meth:`encode` carries state between frames (temporal
+    #: BD references the previous frame).  Stateful codecs must see one
+    #: stream in display order, so batch parallelism keeps them serial.
+    stateful: bool = False
+
     @abc.abstractmethod
     def encode(self, ctx: "FrameContext") -> EncodedFrame:
         """Encode one frame described by a shared context."""

@@ -169,6 +169,8 @@ class TemporalBDCodec(Codec):
     clean sequence).  Call :meth:`reset` on a scene cut.
     """
 
+    stateful = True
+
     def __init__(self, tile_size: int = 4):
         if tile_size < 1:
             raise ValueError(f"tile_size must be >= 1, got {tile_size}")

@@ -28,10 +28,17 @@ __all__ = [
 ]
 
 #: Linear-domain breakpoint below which the sRGB curve is linear.
-LINEAR_THRESHOLD = 0.0031308
+#:
+#: This is the exact crossover of the two branch functions — the root of
+#: ``12.92 x = 1.055 x^(1/2.4) - 0.055`` — rather than the rounded
+#: ``0.0031308`` the sRGB spec prints.  With the rounded constant the
+#: linear branch overshoots the power branch at the seam, making the
+#: transfer function non-monotonic there and breaking exact round trips
+#: through :func:`srgb_to_linear` for values near 0.04045.
+LINEAR_THRESHOLD = 0.003130668442500634
 
 #: sRGB-domain image of :data:`LINEAR_THRESHOLD` (12.92 * threshold).
-SRGB_THRESHOLD = 0.04045
+SRGB_THRESHOLD = 12.92 * LINEAR_THRESHOLD
 
 
 def _as_float_array(values, name: str) -> np.ndarray:

@@ -100,12 +100,20 @@ def optimize_tiles(
     # argmin returns the *first* minimum, so listing Blue first in
     # ``axes`` implements the tie-break.
     winner = bits_matrix.argmin(axis=0)  # (n_tiles,)
-    n_tiles = bits_matrix.shape[1]
-    take = (winner, np.arange(n_tiles))
 
-    adjusted = np.stack([per_axis[a].adjusted for a in axes], axis=0)[take]
-    adjusted_srgb = np.stack(srgb_stack, axis=0)[take]
-    case2 = np.stack([per_axis[a].case2 for a in axes], axis=0)[take]
+    # Gather the winning tiles by masked assignment.  Stacking every
+    # candidate into an (n_axes, n_tiles, px, 3) block before indexing
+    # would materialize n_axes full copies of the frame's tile stack
+    # (twice: linear and sRGB) just to throw most of them away.
+    adjusted = per_axis[axes[0]].adjusted.copy()
+    adjusted_srgb = srgb_stack[0].copy()
+    case2 = per_axis[axes[0]].case2.copy()
+    for index in range(1, len(axes)):
+        mask = winner == index
+        if mask.any():
+            adjusted[mask] = per_axis[axes[index]].adjusted[mask]
+            adjusted_srgb[mask] = srgb_stack[index][mask]
+            case2[mask] = per_axis[axes[index]].case2[mask]
     chosen_axis = np.asarray(axes, dtype=np.int64)[winner]
 
     return OptimizedTiles(
@@ -113,6 +121,6 @@ def optimize_tiles(
         adjusted_srgb=adjusted_srgb,
         chosen_axis=chosen_axis,
         case2=case2,
-        bits=bits_matrix[take],
+        bits=np.take_along_axis(bits_matrix, winner[None, :], axis=0)[0],
         per_axis=per_axis,
     )

@@ -9,6 +9,7 @@ pytest-benchmark targets, and the modules are runnable directly
 from . import (
     ablations,
     extensions,
+    fleet,
     quality,
     fig02_ellipsoids,
     fig10_bandwidth,
@@ -25,6 +26,7 @@ from .common import ExperimentConfig, encoder_for, format_table, render_eval_fra
 __all__ = [
     "ablations",
     "extensions",
+    "fleet",
     "quality",
     "fig02_ellipsoids",
     "fig10_bandwidth",

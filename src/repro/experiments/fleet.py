@@ -1,0 +1,186 @@
+"""Fleet contention study: N headsets sharing one wireless link.
+
+The single-link streaming extension (``ext-streaming``) asks which
+encoders sustain which refresh rates on a *dedicated* link.  This
+experiment asks the deployment question behind the paper's Sec. 2.2
+traffic argument: with several headsets behind one access point, how
+much of each client's frame rate does contention take away, and how far
+does perceptual compression go toward giving it back?
+
+Each client gets its own scene, its own synthetic gaze trace, and a
+codec from the configured roster (cycled); all contend for one link
+under a fair-share or priority scheduler.  The table reports, per
+client, the frame rate it would sustain alone versus inside the fleet,
+and the aggregate utilization/tail-latency picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..codecs.registry import resolve_codec_name
+from ..scenes.gaze import saccade_trace
+from ..streaming.link import WIFI6_LINK, WirelessLink
+from ..streaming.server import (
+    ClientConfig,
+    FleetReport,
+    simulate_fleet,
+    solo_sustainable_fps,
+)
+from ..streaming.session import ENCODER_CHOICES
+from .common import ExperimentConfig, format_table
+
+__all__ = [
+    "DEFAULT_FLEET_CODECS",
+    "FleetResult",
+    "streaming_codec_name",
+    "build_fleet_clients",
+    "run",
+    "run_fleet",
+]
+
+#: Codec roster cycled over clients when the config names none.
+DEFAULT_FLEET_CODECS = ("perceptual", "bd", "variable-bd", "raw")
+
+
+def streaming_codec_name(name: str) -> str:
+    """Map a codec-registry name to its streaming-encoder spelling.
+
+    The registry canonicalizes ``raw`` to ``nocom``; sessions speak
+    streaming names.  Raises ``ValueError`` for codecs that are not
+    per-frame streaming encoders (png, scc, temporal-bd).
+    """
+    canonical = resolve_codec_name(name)
+    streaming = "raw" if canonical == "nocom" else canonical
+    if streaming not in ENCODER_CHOICES:
+        raise ValueError(
+            f"codec {name!r} is not a streaming encoder; "
+            f"expected one of {ENCODER_CHOICES}"
+        )
+    return streaming
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Per-client solo-vs-fleet frame rates plus fleet aggregates."""
+
+    report: FleetReport
+    solo_fps: dict[str, float]  # client name -> uncontended fps
+
+    def table(self) -> str:
+        headers = [
+            "client", "scene", "codec", "kB/frame",
+            "solo fps", "fleet fps", "target", "ok",
+        ]
+        rows = []
+        for client in self.report.clients:
+            rows.append([
+                client.name,
+                client.scene,
+                client.encoder,
+                client.mean_payload_bits / 8e3,
+                self.solo_fps[client.name],
+                client.sustainable_fps,
+                f"{client.target_fps:g}",
+                "yes" if client.meets_target else "NO",
+            ])
+        fleet = self.report
+        return format_table(headers, rows, precision=1) + (
+            f"\n{fleet.summary()}"
+            f"\ntotal traffic: {fleet.total_traffic_bits / 8e6:.2f} MB over "
+            f"{fleet.n_frames} frames on {fleet.link.bandwidth_mbps:g} Mbps"
+        )
+
+
+def build_fleet_clients(
+    config: ExperimentConfig,
+    n_clients: int,
+    codecs: tuple[str, ...],
+    target_fps: float = 72.0,
+) -> list[ClientConfig]:
+    """One client per slot: scenes and codecs cycle, gaze traces differ.
+
+    Every client follows its own saccade trace (seeded from the config
+    seed), so fixations — and therefore perceptual payloads — diverge
+    the way real independent users' would.
+    """
+    if n_clients < 1:
+        raise ValueError(f"n_clients must be >= 1, got {n_clients}")
+    streaming_names = [streaming_codec_name(name) for name in codecs]
+    clients = []
+    for index in range(n_clients):
+        trace = saccade_trace(
+            duration_s=max(config.n_frames / target_fps, 0.1),
+            rng=np.random.default_rng(config.seed + index),
+        )
+        clients.append(
+            ClientConfig(
+                name=f"client{index}",
+                scene=config.scene_names[index % len(config.scene_names)],
+                codec=streaming_names[index % len(streaming_names)],
+                height=config.height,
+                width=config.width,
+                target_fps=target_fps,
+                gaze_trace=tuple(trace),
+            )
+        )
+    return clients
+
+
+def run_fleet(
+    config: ExperimentConfig | None = None,
+    *,
+    n_clients: int = 4,
+    link: WirelessLink = WIFI6_LINK,
+    scheduler: str = "fair",
+    n_jobs: int = 1,
+    target_fps: float = 72.0,
+    lenient_codecs: bool = False,
+) -> FleetResult:
+    """Simulate the fleet and compare solo vs contended frame rates.
+
+    ``config.codec_names`` cycles over the clients.  By default a name
+    that cannot stream per-frame (png, scc, temporal-bd) raises.  With
+    ``lenient_codecs=True`` such names are dropped and, if none remain,
+    the default roster is used — the CLI sets this for multi-experiment
+    runs, where a shared ``--codecs`` filter aimed at the sweep
+    experiments must not break the fleet leg of an ``all`` run.
+    """
+    config = config or ExperimentConfig()
+    codecs = tuple(config.codec_names or DEFAULT_FLEET_CODECS)
+    if lenient_codecs:
+        streamable = []
+        for name in codecs:
+            try:
+                streamable.append(streaming_codec_name(name))
+            except (KeyError, ValueError):
+                continue
+        if not streamable:
+            streamable = [streaming_codec_name(n) for n in DEFAULT_FLEET_CODECS]
+    else:
+        streamable = [streaming_codec_name(name) for name in codecs]
+    clients = build_fleet_clients(config, n_clients, tuple(streamable), target_fps)
+    report = simulate_fleet(
+        clients,
+        link,
+        scheduler=scheduler,
+        n_frames=config.n_frames,
+        n_jobs=n_jobs,
+        display=config.display,
+        seed=config.seed,
+    )
+    solo = {
+        client.name: solo_sustainable_fps(client, link)
+        for client in report.clients
+    }
+    return FleetResult(report=report, solo_fps=solo)
+
+
+#: CLI-compatible alias (every experiment module exposes ``run``).
+run = run_fleet
+
+
+if __name__ == "__main__":
+    print(run_fleet(ExperimentConfig(height=128, width=128)).table())

@@ -1,0 +1,27 @@
+"""Process-pool plumbing shared by the batch encoder and fleet engine.
+
+Everything CPU-heavy in this library is pure-Python + numpy, so real
+parallel speed-ups need processes, not threads.  This module is the one
+place that decides how those pools are built: fork where the platform
+offers it (cheap start-up, so even small batches win), the platform
+default (spawn) elsewhere.  Callers submit picklable work and reassemble
+results in submission order, which keeps every parallel path
+bit-identical to its serial equivalent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+__all__ = ["worker_pool"]
+
+
+def worker_pool(n_workers: int) -> ProcessPoolExecutor:
+    """A process pool of ``n_workers``, preferring cheap fork start-up."""
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    return ProcessPoolExecutor(
+        max_workers=n_workers, mp_context=multiprocessing.get_context(method)
+    )

@@ -12,8 +12,8 @@ and the four refresh rates.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
 
@@ -38,6 +38,9 @@ QUEST2_REFRESH_RATES = (72, 80, 90, 120)
 #: the 32-entry cache under ~256 MB even for adversarial gaze sweeps.
 _CACHE_MAP_BYTES_LIMIT = 8 * 1024 * 1024
 
+#: Eccentricity-map cache entries kept per geometry instance.
+_CACHE_MAX_ENTRIES = 32
+
 
 @dataclass(frozen=True)
 class DisplayGeometry:
@@ -57,6 +60,19 @@ class DisplayGeometry:
             value = getattr(self, name)
             if not 0 < value < 180:
                 raise ValueError(f"{name} must be in (0, 180), got {value}")
+        # Per-instance map cache.  An ``lru_cache`` on the method would
+        # key on ``self``, pinning every geometry ever used for the
+        # lifetime of the class (a leak) and making all geometries fight
+        # over one eviction budget; here each instance gets its own
+        # LRU of :data:`_CACHE_MAX_ENTRIES` maps and dies with it.
+        object.__setattr__(self, "_map_cache", OrderedDict())
+
+    def __getstate__(self):
+        # Cached maps do not travel across pickling (process-pool
+        # workers rebuild what they need); ship only the geometry.
+        state = dict(self.__dict__)
+        state["_map_cache"] = OrderedDict()
+        return state
 
     def _view_rays(self, height: int, width: int) -> np.ndarray:
         """Unit view rays for every pixel, shape ``(H, W, 3)``.
@@ -109,13 +125,15 @@ class DisplayGeometry:
         key = (int(height), int(width), (float(fx), float(fy)))
         if height * width * 8 > _CACHE_MAP_BYTES_LIMIT:
             return self._compute_eccentricity_map(*key)
-        return self._eccentricity_map_cached(*key)
-
-    @lru_cache(maxsize=32)
-    def _eccentricity_map_cached(
-        self, height: int, width: int, fixation: tuple[float, float]
-    ) -> np.ndarray:
-        return self._compute_eccentricity_map(height, width, fixation)
+        cache: OrderedDict = self._map_cache
+        if key in cache:
+            cache.move_to_end(key)
+            return cache[key]
+        ecc = self._compute_eccentricity_map(*key)
+        cache[key] = ecc
+        while len(cache) > _CACHE_MAX_ENTRIES:
+            cache.popitem(last=False)
+        return ecc
 
     def _compute_eccentricity_map(
         self, height: int, width: int, fixation: tuple[float, float]

@@ -1,7 +1,25 @@
 """Remote-rendering streaming substrate (paper Sec. 2.2, Fig. 3)."""
 
 from .link import WIFI6_LINK, WIGIG_LINK, WirelessLink
-from .session import ENCODER_CHOICES, FrameTiming, SessionReport, simulate_session
+from .server import (
+    SCHEDULER_CHOICES,
+    ClientConfig,
+    ClientReport,
+    FairShareScheduler,
+    FleetReport,
+    LinkScheduler,
+    PriorityScheduler,
+    get_scheduler,
+    simulate_fleet,
+    solo_sustainable_fps,
+)
+from .session import (
+    ENCODER_CHOICES,
+    FrameTiming,
+    SessionReport,
+    build_streaming_codec,
+    simulate_session,
+)
 
 __all__ = [
     "WIFI6_LINK",
@@ -10,5 +28,16 @@ __all__ = [
     "ENCODER_CHOICES",
     "FrameTiming",
     "SessionReport",
+    "build_streaming_codec",
     "simulate_session",
+    "SCHEDULER_CHOICES",
+    "ClientConfig",
+    "ClientReport",
+    "FairShareScheduler",
+    "FleetReport",
+    "LinkScheduler",
+    "PriorityScheduler",
+    "get_scheduler",
+    "simulate_fleet",
+    "solo_sustainable_fps",
 ]

@@ -55,14 +55,23 @@ class WirelessLink:
             raise ValueError(f"payload_bits must be >= 0, got {payload_bits}")
         return payload_bits / (self.bandwidth_mbps * 1e6)
 
+    def overhead_time_s(self, rng: np.random.Generator | None = None) -> float:
+        """Propagation plus (optional) jitter — everything but airtime.
+
+        The fleet engine adds this on top of scheduler-computed drain
+        times, so contended and dedicated transmissions price the fixed
+        per-frame overhead identically.
+        """
+        base = self.propagation_ms * 1e-3
+        if self.jitter_ms > 0 and rng is not None:
+            base += abs(float(rng.normal(0.0, self.jitter_ms))) * 1e-3
+        return base
+
     def transmit_time_s(
         self, payload_bits: int, rng: np.random.Generator | None = None
     ) -> float:
         """Total one-way latency for a payload, with optional jitter."""
-        base = self.serialization_time_s(payload_bits) + self.propagation_ms * 1e-3
-        if self.jitter_ms > 0 and rng is not None:
-            base += abs(float(rng.normal(0.0, self.jitter_ms))) * 1e-3
-        return base
+        return self.serialization_time_s(payload_bits) + self.overhead_time_s(rng)
 
     def sustainable_fps(self, payload_bits: int) -> float:
         """Frame rate the link alone can sustain for this payload size.

@@ -1,0 +1,474 @@
+"""Multi-client streaming engine: N headsets, one shared link.
+
+The single-session simulator answers "what does this encoder buy one
+client on a dedicated link".  Real deployments of the paper's system —
+the remote-rendering scenario of Sec. 2.2 — put several headsets behind
+one access point, so what matters is how encoders behave under
+*contention*: per-client frames compete for the same air time, and the
+scheduler decides who waits.
+
+This module simulates exactly that:
+
+* each :class:`ClientConfig` carries its own scene, gaze trace,
+  resolution, target refresh rate, codec choice, and scheduling weight;
+* every simulated frame interval, all clients' encoded payloads are
+  offered to one :class:`~repro.streaming.link.WirelessLink` and a
+  :class:`LinkScheduler` — weighted fair share in the fluid (GPS)
+  limit, or strict priority — assigns each payload its drain time;
+* per-client :class:`ClientReport`\\ s (a
+  :class:`~repro.streaming.session.SessionReport` each, so the
+  encode-vs-serialization fps bound applies unchanged) roll up into a
+  :class:`FleetReport` with tail latency, clients meeting target, and
+  aggregate link utilization.
+
+Client streams are independent until their payloads meet at the link,
+so with ``n_jobs > 1`` the render+encode work fans out over a process
+pool, one task per client stream — frames within a stream stay serial
+and ordered, which is what stateful codecs require.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..codecs.context import FrameContext
+from ..parallel import worker_pool
+from ..scenes.display import QUEST2_DISPLAY, DisplayGeometry
+from ..scenes.gaze import GazeSample
+from ..scenes.library import get_scene
+from .link import WIFI6_LINK, WirelessLink
+from .session import ENCODER_CHOICES, FrameTiming, SessionReport, build_streaming_codec
+
+__all__ = [
+    "ClientConfig",
+    "LinkScheduler",
+    "FairShareScheduler",
+    "PriorityScheduler",
+    "SCHEDULER_CHOICES",
+    "get_scheduler",
+    "ClientReport",
+    "FleetReport",
+    "solo_sustainable_fps",
+    "simulate_fleet",
+]
+
+#: Payload remainders below this many bits count as fully drained
+#: (guards the fluid scheduler against float round-off).
+_DRAIN_EPSILON_BITS = 1e-6
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """One headset client in a fleet.
+
+    Attributes
+    ----------
+    name:
+        Unique client label (report lookup key).
+    scene:
+        Scene name from :mod:`repro.scenes.library`.
+    codec:
+        Streaming encoder name (one of
+        :data:`~repro.streaming.session.ENCODER_CHOICES`).
+    height, width:
+        Per-eye render resolution.
+    target_fps:
+        Refresh rate this client must sustain.
+    weight:
+        Scheduling weight: capacity share under fair share, rank under
+        strict priority (higher goes first).
+    fixation:
+        Static gaze point in normalized coordinates, used when no gaze
+        trace is given.
+    gaze_trace:
+        Optional :class:`~repro.scenes.gaze.GazeSample` sequence (time
+        ascending); the fixation at each frame is the most recent
+        sample, as a zero-latency tracker would report it.
+    encode_throughput_mpixels_s:
+        Server-side encoder rate for this client's stream.
+    """
+
+    name: str
+    scene: str = "office"
+    codec: str = "perceptual"
+    height: int = 192
+    width: int = 192
+    target_fps: float = 72.0
+    weight: float = 1.0
+    fixation: tuple[float, float] = (0.5, 0.5)
+    gaze_trace: tuple[GazeSample, ...] | None = None
+    encode_throughput_mpixels_s: float = 500.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("client name must be non-empty")
+        if self.codec not in ENCODER_CHOICES:
+            raise ValueError(
+                f"client {self.name!r}: unknown codec {self.codec!r}; "
+                f"expected one of {ENCODER_CHOICES}"
+            )
+        if self.height < 8 or self.width < 8:
+            raise ValueError(
+                f"client {self.name!r}: frames must be at least 8x8, "
+                f"got {self.height}x{self.width}"
+            )
+        if self.target_fps <= 0:
+            raise ValueError(f"client {self.name!r}: target_fps must be positive")
+        if self.weight <= 0:
+            raise ValueError(f"client {self.name!r}: weight must be positive")
+        if self.encode_throughput_mpixels_s <= 0:
+            raise ValueError(
+                f"client {self.name!r}: encode_throughput_mpixels_s must be positive"
+            )
+        fx, fy = self.fixation
+        if not (0.0 <= fx <= 1.0 and 0.0 <= fy <= 1.0):
+            raise ValueError(
+                f"client {self.name!r}: fixation must be within [0, 1]^2, "
+                f"got {self.fixation}"
+            )
+        if self.gaze_trace is not None:
+            trace = tuple(self.gaze_trace)
+            times = [s.time_s for s in trace]
+            if times != sorted(times):
+                raise ValueError(
+                    f"client {self.name!r}: gaze trace must be time-ascending"
+                )
+            object.__setattr__(self, "gaze_trace", trace)
+
+    @property
+    def encode_time_s(self) -> float:
+        """Server-side encode time for one stereo frame."""
+        return 2 * self.height * self.width / (self.encode_throughput_mpixels_s * 1e6)
+
+    def fixation_at(self, time_s: float) -> tuple[float, float]:
+        """Gaze point in effect at a session time."""
+        if not self.gaze_trace:
+            return self.fixation
+        current = None
+        for sample in self.gaze_trace:
+            if sample.time_s > time_s:
+                break
+            current = sample
+        if current is None:
+            return self.fixation
+        clamped = current.clamped()
+        return (clamped.x, clamped.y)
+
+
+class LinkScheduler(abc.ABC):
+    """Divides one link's capacity among simultaneous frame payloads."""
+
+    #: Registry name (the CLI's ``--scheduler`` spelling).
+    name: str = ""
+
+    @abc.abstractmethod
+    def drain_times_s(
+        self,
+        payload_bits: Sequence[float],
+        weights: Sequence[float],
+        link: WirelessLink,
+    ) -> list[float]:
+        """Completion time of each payload, offered at instant zero.
+
+        Returns one drain time per payload: how long after the round
+        starts that client's last bit leaves the air.  Zero-size
+        payloads never occupy the link.
+        """
+
+    @staticmethod
+    def _validate(payload_bits: Sequence[float], weights: Sequence[float]) -> None:
+        if len(payload_bits) != len(weights):
+            raise ValueError(
+                f"{len(payload_bits)} payloads but {len(weights)} weights"
+            )
+        if any(p < 0 for p in payload_bits):
+            raise ValueError("payloads must be >= 0 bits")
+        if any(w <= 0 for w in weights):
+            raise ValueError("scheduler weights must be positive")
+
+
+class FairShareScheduler(LinkScheduler):
+    """Weighted fair queueing in the fluid (GPS) limit.
+
+    Every backlogged client receives capacity in proportion to its
+    weight; when one drains, its share redistributes among the rest.
+    Equal weights give the classic per-client ``1/n`` fair share.
+    """
+
+    name = "fair"
+
+    def drain_times_s(self, payload_bits, weights, link):
+        self._validate(payload_bits, weights)
+        bandwidth = link.bandwidth_mbps * 1e6
+        remaining = [float(bits) for bits in payload_bits]
+        finish = [0.0] * len(remaining)
+        active = [i for i, bits in enumerate(remaining) if bits > 0]
+        now = 0.0
+        while active:
+            total_weight = sum(weights[i] for i in active)
+            rates = {i: bandwidth * weights[i] / total_weight for i in active}
+            step = min(remaining[i] / rates[i] for i in active)
+            now += step
+            still_active = []
+            for i in active:
+                remaining[i] -= rates[i] * step
+                if remaining[i] <= _DRAIN_EPSILON_BITS:
+                    finish[i] = now
+                else:
+                    still_active.append(i)
+            active = still_active
+        return finish
+
+
+class PriorityScheduler(LinkScheduler):
+    """Strict priority: heavier clients transmit first, then the rest.
+
+    Ties break in client order.  The heaviest client sees a dedicated
+    link — useful to model one latency-critical headset among best-
+    effort peers.
+    """
+
+    name = "priority"
+
+    def drain_times_s(self, payload_bits, weights, link):
+        self._validate(payload_bits, weights)
+        order = sorted(
+            range(len(payload_bits)), key=lambda i: (-weights[i], i)
+        )
+        finish = [0.0] * len(payload_bits)
+        now = 0.0
+        for i in order:
+            if payload_bits[i] > 0:
+                now += link.serialization_time_s(payload_bits[i])
+                finish[i] = now
+        return finish
+
+
+_SCHEDULERS = {cls.name: cls for cls in (FairShareScheduler, PriorityScheduler)}
+
+#: Valid ``--scheduler`` spellings.
+SCHEDULER_CHOICES = tuple(_SCHEDULERS)
+
+
+def get_scheduler(scheduler: str | LinkScheduler) -> LinkScheduler:
+    """Resolve a scheduler name (or pass an instance through)."""
+    if isinstance(scheduler, LinkScheduler):
+        return scheduler
+    try:
+        return _SCHEDULERS[scheduler]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; expected one of {SCHEDULER_CHOICES}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ClientReport(SessionReport):
+    """One client's session outcome inside a fleet.
+
+    Identical to a :class:`~repro.streaming.session.SessionReport` —
+    including the encode-vs-serialization sustainable-fps bound — with
+    the frame serialization times reflecting *contended* drain times
+    under the fleet's scheduler.
+    """
+
+    name: str = ""
+    scene: str = ""
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Aggregate outcome of a multi-client streaming simulation."""
+
+    clients: tuple[ClientReport, ...]
+    link: WirelessLink
+    scheduler: str
+    n_frames: int
+
+    @property
+    def n_clients(self) -> int:
+        return len(self.clients)
+
+    def client(self, name: str) -> ClientReport:
+        for report in self.clients:
+            if report.name == name:
+                return report
+        raise KeyError(
+            f"no client {name!r}; have {[r.name for r in self.clients]}"
+        )
+
+    @property
+    def clients_meeting_target(self) -> int:
+        return sum(report.meets_target for report in self.clients)
+
+    @property
+    def total_traffic_bits(self) -> int:
+        return int(
+            sum(frame.payload_bits for report in self.clients for frame in report.frames)
+        )
+
+    @property
+    def mean_latency_s(self) -> float:
+        return float(
+            np.mean([f.motion_to_photon_s for r in self.clients for f in r.frames])
+        )
+
+    def tail_latency_s(self, percentile: float = 95.0) -> float:
+        """Latency percentile across every frame of every client."""
+        if not 0 < percentile <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        latencies = [f.motion_to_photon_s for r in self.clients for f in r.frames]
+        return float(np.percentile(latencies, percentile))
+
+    @property
+    def link_utilization(self) -> float:
+        """Offered load at target rates relative to link capacity.
+
+        Each client demands ``mean payload x target fps`` bits per
+        second; the sum over clients, divided by the link bandwidth, is
+        the fraction of capacity the fleet asks for.  Values above 1
+        mean the link is oversubscribed — some clients necessarily miss
+        their targets.
+        """
+        demand = sum(
+            report.mean_payload_bits * report.target_fps for report in self.clients
+        )
+        return demand / (self.link.bandwidth_mbps * 1e6)
+
+    def summary(self) -> str:
+        """One-line fleet health readout."""
+        return (
+            f"{self.clients_meeting_target}/{self.n_clients} clients meet target | "
+            f"link utilization {self.link_utilization:.2f} | "
+            f"p95 latency {self.tail_latency_s(95.0) * 1e3:.2f} ms | "
+            f"scheduler {self.scheduler}"
+        )
+
+
+def solo_sustainable_fps(report: ClientReport, link: WirelessLink) -> float:
+    """Frame rate this client would sustain with the link to itself.
+
+    Uses the same payloads and encode times the fleet produced, with
+    uncontended serialization — the single-client equivalent the
+    contention studies compare against.
+    """
+    solo_serialization = link.serialization_time_s(report.mean_payload_bits)
+    bottleneck = max(solo_serialization, report.mean_encode_time_s)
+    return 1.0 / bottleneck if bottleneck > 0 else float("inf")
+
+
+def _encode_client_stream(
+    client: ClientConfig, display: DisplayGeometry, n_frames: int
+) -> list[int]:
+    """Render and encode one client's whole stream, in display order.
+
+    Runs as a unit — inline or as one process-pool task — so stateful
+    codecs always see their frames serially and in order.
+    """
+    scene = get_scene(client.scene)
+    codec = build_streaming_codec(client.codec)
+    codec.reset()
+    payloads = []
+    for index in range(n_frames):
+        left, right = scene.render_stereo(client.height, client.width, frame=index)
+        fixation = client.fixation_at(index / client.target_fps)
+        eccentricity = display.eccentricity_map(
+            client.height, client.width, fixation=fixation
+        )
+        payloads.append(
+            sum(
+                codec.encode(
+                    FrameContext(eye, eccentricity=eccentricity, display=display)
+                ).total_bits
+                for eye in (left, right)
+            )
+        )
+    return payloads
+
+
+def _encode_streams(
+    clients: Sequence[ClientConfig],
+    display: DisplayGeometry,
+    n_frames: int,
+    n_jobs: int,
+) -> list[list[int]]:
+    """Per-client payload streams, fanned over processes when asked."""
+    if n_jobs == 1 or len(clients) == 1:
+        return [_encode_client_stream(c, display, n_frames) for c in clients]
+    with worker_pool(min(n_jobs, len(clients))) as pool:
+        futures = [
+            pool.submit(_encode_client_stream, client, display, n_frames)
+            for client in clients
+        ]
+        return [future.result() for future in futures]
+
+
+def simulate_fleet(
+    clients: Sequence[ClientConfig],
+    link: WirelessLink = WIFI6_LINK,
+    *,
+    scheduler: str | LinkScheduler = "fair",
+    n_frames: int = 4,
+    n_jobs: int = 1,
+    display: DisplayGeometry = QUEST2_DISPLAY,
+    seed: int = 0,
+) -> FleetReport:
+    """Stream ``n_frames`` stereo frames per client over one shared link.
+
+    Every frame interval, each client renders and encodes a stereo
+    frame (its own scene, gaze, resolution, codec) and all payloads
+    contend for the link under ``scheduler``.  ``n_jobs`` parallelizes
+    the render+encode work across client streams; results are
+    bit-identical for any value.
+    """
+    clients = tuple(clients)
+    if not clients:
+        raise ValueError("a fleet needs at least one client")
+    names = [client.name for client in clients]
+    if len(set(names)) != len(names):
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(f"duplicate client names: {duplicates}")
+    if n_frames <= 0:
+        raise ValueError(f"n_frames must be positive, got {n_frames}")
+    if not isinstance(n_jobs, int) or n_jobs < 1:
+        raise ValueError(f"n_jobs must be a positive integer, got {n_jobs!r}")
+    engine = get_scheduler(scheduler)
+
+    streams = _encode_streams(clients, display, n_frames, n_jobs)
+
+    rng = np.random.default_rng(seed)
+    weights = [client.weight for client in clients]
+    timings: list[list[FrameTiming]] = [[] for _ in clients]
+    for frame_index in range(n_frames):
+        payloads = [streams[ci][frame_index] for ci in range(len(clients))]
+        drains = engine.drain_times_s(payloads, weights, link)
+        for ci, client in enumerate(clients):
+            timings[ci].append(
+                FrameTiming(
+                    frame_index=frame_index,
+                    payload_bits=payloads[ci],
+                    encode_time_s=client.encode_time_s,
+                    serialization_time_s=drains[ci],
+                    transmit_time_s=drains[ci] + link.overhead_time_s(rng),
+                )
+            )
+
+    reports = tuple(
+        ClientReport(
+            encoder=client.codec,
+            frames=timings[ci],
+            target_fps=client.target_fps,
+            name=client.name,
+            scene=client.scene,
+            weight=client.weight,
+        )
+        for ci, client in enumerate(clients)
+    )
+    return FleetReport(
+        clients=reports, link=link, scheduler=engine.name, n_frames=n_frames
+    )

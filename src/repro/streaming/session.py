@@ -30,11 +30,36 @@ from ..scenes.display import QUEST2_DISPLAY, DisplayGeometry
 from ..scenes.library import Scene
 from .link import WirelessLink
 
-__all__ = ["FrameTiming", "SessionReport", "simulate_session", "ENCODER_CHOICES"]
+__all__ = [
+    "FrameTiming",
+    "SessionReport",
+    "simulate_session",
+    "build_streaming_codec",
+    "ENCODER_CHOICES",
+]
 
 #: Valid per-frame encoder choices for a session, derived from the
 #: codec registry (every codec registered with a ``streaming`` name).
 ENCODER_CHOICES = streaming_codec_names()
+
+
+def build_streaming_codec(encoder: str, perceptual_encoder: PerceptualEncoder | None = None):
+    """Instantiate a per-frame streaming codec by its streaming name.
+
+    Session-level knobs are routed explicitly to the codecs that take
+    them: the perceptual codec wraps ``perceptual_encoder`` (a default
+    :class:`~repro.core.pipeline.PerceptualEncoder` if omitted), the BD
+    variants inherit its tile size so every encoder in a comparison
+    tiles identically.
+    """
+    if encoder not in ENCODER_CHOICES:
+        raise ValueError(f"unknown encoder {encoder!r}; expected one of {ENCODER_CHOICES}")
+    perceptual = perceptual_encoder if perceptual_encoder is not None else PerceptualEncoder()
+    if encoder == "perceptual":
+        return get_codec(encoder, encoder=perceptual)
+    if encoder in ("bd", "variable-bd"):
+        return get_codec(encoder, tile_size=perceptual.tile_size)
+    return get_codec(encoder)
 
 
 @dataclass(frozen=True)
@@ -74,16 +99,26 @@ class SessionReport:
         return float(np.mean([f.motion_to_photon_s for f in self.frames]))
 
     @property
-    def sustainable_fps(self) -> float:
-        """Rate limited by the link's serialization of the mean payload.
+    def mean_encode_time_s(self) -> float:
+        return float(np.mean([f.encode_time_s for f in self.frames]))
 
-        Propagation delay pipelines away across frames, so only the
-        time each payload occupies the air bounds the frame rate.
+    @property
+    def mean_serialization_time_s(self) -> float:
+        return float(np.mean([f.serialization_time_s for f in self.frames]))
+
+    @property
+    def sustainable_fps(self) -> float:
+        """Rate limited by the slower pipeline stage: encode or link.
+
+        Propagation delay pipelines away across frames, so the
+        recurring per-frame costs are the time the encoder spends on a
+        frame and the time its payload occupies the air.  The two
+        stages overlap across frames, so the throughput bound is the
+        *slower* of the two — a raw codec on a fat link is encode-bound
+        and cannot exceed the encoder's frame rate.
         """
-        mean_serialization = float(
-            np.mean([f.serialization_time_s for f in self.frames])
-        )
-        return 1.0 / mean_serialization if mean_serialization > 0 else float("inf")
+        bottleneck = max(self.mean_serialization_time_s, self.mean_encode_time_s)
+        return 1.0 / bottleneck if bottleneck > 0 else float("inf")
 
     @property
     def meets_target(self) -> bool:
@@ -110,8 +145,6 @@ def simulate_session(
     matters relative to transmission).  Gaze is centered; per-eye
     sub-frames are encoded independently and share one transmission.
     """
-    if encoder not in ENCODER_CHOICES:
-        raise ValueError(f"unknown encoder {encoder!r}; expected one of {ENCODER_CHOICES}")
     if n_frames <= 0:
         raise ValueError(f"n_frames must be positive, got {n_frames}")
     if target_fps <= 0:
@@ -119,15 +152,7 @@ def simulate_session(
     if encode_throughput_mpixels_s <= 0:
         raise ValueError("encode_throughput_mpixels_s must be positive")
 
-    perceptual = perceptual_encoder if perceptual_encoder is not None else PerceptualEncoder()
-    # Per-frame codec from the registry; session-level knobs are routed
-    # explicitly to the codecs that take them.
-    if encoder == "perceptual":
-        codec = get_codec(encoder, encoder=perceptual)
-    elif encoder in ("bd", "variable-bd"):
-        codec = get_codec(encoder, tile_size=perceptual.tile_size)
-    else:
-        codec = get_codec(encoder)
+    codec = build_streaming_codec(encoder, perceptual_encoder)
 
     eccentricity = display.eccentricity_map(height, width)  # cached on display
     rng = np.random.default_rng(seed)

@@ -84,6 +84,7 @@ class TestGreedy:
         assert far.size <= near.size
 
 
+@pytest.mark.slow  # full-gamut cover construction takes minutes
 class TestGridCover:
     @pytest.fixture(scope="class")
     def table(self):

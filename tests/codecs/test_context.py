@@ -95,10 +95,13 @@ class TestDisplayMapCache:
         corner = QUEST2_DISPLAY.eccentricity_map(16, 16, fixation=(0.0, 0.0))
         assert not np.array_equal(center, corner)
 
-    def test_equal_geometries_share_cache(self):
+    def test_equal_geometries_have_independent_caches(self):
+        # Per-instance caches: equal geometries agree on values but do
+        # not share storage, so no instance outlives its own cache.
         a = DisplayGeometry().eccentricity_map(20, 20)
         b = DisplayGeometry().eccentricity_map(20, 20)
-        assert a is b
+        assert a is not b
+        assert np.array_equal(a, b)
 
     def test_values_unchanged_by_caching(self):
         ecc = DisplayGeometry(

@@ -33,6 +33,7 @@ class TestTrueObjective:
         assert true_objective_bits(tile) == pytest.approx(3 * np.log2(256.0))
 
 
+@pytest.mark.slow  # scipy-grade iterative reference solver
 class TestSolver:
     def test_respects_constraints(self, rng):
         tile, axes = _tile(rng)

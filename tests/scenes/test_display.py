@@ -61,6 +61,59 @@ class TestEccentricityMap:
         )
 
 
+class TestMapCacheLifetime:
+    """Regression: the cache must be per-instance, not class-level.
+
+    The old ``@lru_cache`` on the method pinned every geometry forever
+    and made all geometries share one 32-entry eviction budget.
+    """
+
+    def test_geometry_is_garbage_collected(self):
+        import gc
+        import weakref
+
+        display = DisplayGeometry(fov_horizontal_deg=77.0)
+        display.eccentricity_map(16, 16)  # populate the cache
+        ref = weakref.ref(display)
+        del display
+        gc.collect()
+        assert ref() is None
+
+    def test_instances_do_not_share_eviction_budget(self):
+        a = DisplayGeometry()
+        b = DisplayGeometry(fov_horizontal_deg=90.0)
+        first = a.eccentricity_map(16, 16)
+        # Flood b's cache well past the per-instance limit; a's entry
+        # must survive because budgets are independent.
+        for i in range(40):
+            b.eccentricity_map(16, 16, fixation=(i / 40.0, 0.5))
+        assert a.eccentricity_map(16, 16) is first
+
+    def test_per_instance_eviction_still_bounds_memory(self):
+        display = DisplayGeometry()
+        first = display.eccentricity_map(16, 16, fixation=(0.0, 0.5))
+        for i in range(1, 40):
+            display.eccentricity_map(16, 16, fixation=(i / 40.0, 0.5))
+        # The oldest entry fell off this instance's 32-entry LRU.
+        assert display.eccentricity_map(16, 16, fixation=(0.0, 0.5)) is not first
+
+    def test_cached_maps_are_read_only(self):
+        ecc = DisplayGeometry().eccentricity_map(12, 12)
+        assert not ecc.flags.writeable
+
+    def test_pickling_drops_cache(self):
+        import pickle
+
+        display = DisplayGeometry()
+        display.eccentricity_map(16, 16)
+        clone = pickle.loads(pickle.dumps(display))
+        assert clone == display
+        assert len(clone._map_cache) == 0
+        assert np.array_equal(
+            clone.eccentricity_map(16, 16), display.eccentricity_map(16, 16)
+        )
+
+
 class TestGeometryValidation:
     def test_rejects_bad_fov(self):
         with pytest.raises(ValueError, match="fov_horizontal_deg"):

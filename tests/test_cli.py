@@ -78,6 +78,40 @@ class TestCodecFilter:
         assert "would be ignored" in capsys.readouterr().err
 
 
+class TestFleet:
+    def test_fleet_runs_and_reports(self, capsys):
+        code = main(
+            ["fleet", "--clients", "2", "--codecs", "bd,raw",
+             "--height", "48", "--width", "48", "--frames", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet fps" in out and "utilization" in out
+
+    def test_fleet_flags_forwarded(self, capsys):
+        code = main(
+            ["fleet", "--clients", "2", "--jobs", "2", "--scheduler", "priority",
+             "--bandwidth", "120", "--codecs", "bd",
+             "--height", "48", "--width", "48", "--frames", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "priority" in out and "120 Mbps" in out
+
+    def test_fleet_flags_rejected_elsewhere(self, capsys):
+        assert main(["fig10", "--clients", "3"]) == 2
+        assert "only affect the fleet" in capsys.readouterr().err
+
+    def test_fleet_rejects_non_streaming_codecs(self, capsys):
+        assert main(["fleet", "--codecs", "png"]) == 2
+        assert "not a streaming encoder" in capsys.readouterr().err
+
+    def test_fleet_rejects_bad_values(self, capsys):
+        assert main(["fleet", "--clients", "0"]) == 2
+        assert main(["fleet", "--jobs", "0"]) == 2
+        assert main(["fleet", "--bandwidth", "0"]) == 2
+
+
 class TestAllIsolation:
     """`all` runs every experiment, isolating per-experiment failures."""
 
