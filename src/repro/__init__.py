@@ -38,6 +38,8 @@ from .codecs import (
     CodecRegistry,
     EncodedFrame,
     FrameContext,
+    QualityLadder,
+    QualityRung,
     available_codecs,
     encode_batch,
     get_codec,
@@ -52,14 +54,16 @@ from .scenes.library import SCENE_NAMES, get_scene, render_scene
 from .streaming import (
     WIFI6_LINK,
     WIGIG_LINK,
+    BandwidthTrace,
     ClientConfig,
     FleetReport,
     WirelessLink,
+    simulate_adaptive_session,
     simulate_fleet,
     simulate_session,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Codec",
@@ -84,11 +88,15 @@ __all__ = [
     "SCENE_NAMES",
     "get_scene",
     "render_scene",
+    "QualityLadder",
+    "QualityRung",
     "WIFI6_LINK",
     "WIGIG_LINK",
+    "BandwidthTrace",
     "ClientConfig",
     "FleetReport",
     "WirelessLink",
+    "simulate_adaptive_session",
     "simulate_fleet",
     "simulate_session",
     "__version__",

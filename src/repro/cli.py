@@ -24,6 +24,7 @@ from typing import Callable
 from .codecs.registry import available_codecs, resolve_codec_name, streaming_codec_names
 from .experiments import (
     ExperimentConfig,
+    adaptive as adaptive_experiment,
     fleet as fleet_experiment,
     fig02_ellipsoids,
     fig10_bandwidth,
@@ -51,8 +52,10 @@ from .experiments.quality import (
     run_foveation_comparison,
     run_rate_distortion,
 )
+from .streaming.adaptive import CONTROLLER_CHOICES
 from .streaming.link import WIFI6_LINK, WirelessLink
 from .streaming.server import SCHEDULER_CHOICES
+from .streaming.traces import parse_trace_spec
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -79,6 +82,7 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "ext-flicker": (run_flicker, "temporal stability"),
     "ext-foveation": (run_foveation_comparison, "foveation comparison"),
     "fleet": (fleet_experiment.run, "multi-client fleet contention study"),
+    "adaptive": (adaptive_experiment.run, "fixed vs adaptive rate control on a fading link"),
 }
 
 #: Experiments whose runner reads ``ExperimentConfig.codec_names``;
@@ -125,6 +129,17 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet_group.add_argument(
         "--bandwidth", type=float, default=None, metavar="MBPS",
         help="fleet only: shared link bandwidth in Mbps (default WiFi6, 400)",
+    )
+    fleet_group.add_argument(
+        "--trace", default=None, metavar="SPEC",
+        help="fleet only: time-varying link bandwidth, e.g. step:400:100:5 "
+             "(high:low Mbps, 5 s per phase), const:MBPS, "
+             "markov:HIGH:LOW:P[:SEED], or file:PATH",
+    )
+    fleet_group.add_argument(
+        "--controller", choices=CONTROLLER_CHOICES, default=None,
+        help="fleet only: per-client rate controller; clients then adapt "
+             "their codec rung per frame (default: pinned codecs)",
     )
     return parser
 
@@ -194,6 +209,8 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs": args.jobs,
         "--scheduler": args.scheduler,
         "--bandwidth": args.bandwidth,
+        "--trace": args.trace,
+        "--controller": args.controller,
     }
     flags_set = [flag for flag, value in fleet_values.items() if value is not None]
     if flags_set and "fleet" not in names:
@@ -212,20 +229,35 @@ def main(argv: list[str] | None = None) -> int:
     if args.bandwidth is not None and args.bandwidth <= 0:
         print("--bandwidth must be positive (Mbps)", file=sys.stderr)
         return 2
+    if args.trace is not None and args.bandwidth is not None:
+        print("--trace and --bandwidth are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.trace is not None:
+        try:
+            # Same propagation as the WiFi6 default so trace sweeps
+            # change exactly one variable.
+            fleet_link = WirelessLink.traced(
+                parse_trace_spec(args.trace),
+                propagation_ms=WIFI6_LINK.propagation_ms,
+            )
+        except (ValueError, OSError) as exc:
+            print(f"bad --trace value: {exc}", file=sys.stderr)
+            return 2
+    elif args.bandwidth is not None:
+        # Same propagation as the WiFi6 default so bandwidth sweeps
+        # change exactly one variable.
+        fleet_link = WirelessLink(
+            bandwidth_mbps=args.bandwidth,
+            propagation_ms=WIFI6_LINK.propagation_ms,
+        )
+    else:
+        fleet_link = WIFI6_LINK
     fleet_kwargs = dict(
         n_clients=args.clients if args.clients is not None else 4,
         n_jobs=args.jobs if args.jobs is not None else 1,
         scheduler=args.scheduler if args.scheduler is not None else "fair",
-        link=(
-            # Same propagation as the WiFi6 default so bandwidth sweeps
-            # change exactly one variable.
-            WirelessLink(
-                bandwidth_mbps=args.bandwidth,
-                propagation_ms=WIFI6_LINK.propagation_ms,
-            )
-            if args.bandwidth is not None
-            else WIFI6_LINK
-        ),
+        link=fleet_link,
+        controller=args.controller,
     )
 
     config = ExperimentConfig(

@@ -29,6 +29,7 @@ from .registry import (
 )
 
 from .batch import encode_batch, make_contexts
+from .ladder import DEFAULT_LADDER_SPEC, QualityLadder, QualityRung
 
 # Importing the wrappers registers every built-in codec.
 from .wrappers import (
@@ -54,6 +55,9 @@ __all__ = [
     "streaming_codec_names",
     "encode_batch",
     "make_contexts",
+    "QualityLadder",
+    "QualityRung",
+    "DEFAULT_LADDER_SPEC",
     "NoComCodec",
     "BDCostCodec",
     "PNGCostCodec",

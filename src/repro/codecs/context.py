@@ -123,10 +123,12 @@ class FrameContext:
 
     @property
     def n_pixels(self) -> int:
+        """Pixel count of the frame (the bits-per-pixel denominator)."""
         return self.height * self.width
 
     @property
     def has_linear(self) -> bool:
+        """Whether a linear-RGB frame is available (perceptual codecs)."""
         return self._frame_linear is not None
 
     @property

@@ -1,0 +1,258 @@
+"""Quality ladders: ordered codec rungs for adaptive rate control.
+
+DASH-style streaming adapts by switching between *representations* of
+the same content at different bitrates.  This library's equivalent of a
+representation is a codec choice: the registry already spans a wide
+bitrate range — uncompressed NoCom at 24 bpp down to the perceptual
+encoder's foveated Base+Delta — so a :class:`QualityLadder` simply
+orders registered codecs from most to least expensive and tags each
+rung with a modeled delivered-quality score.  Rate controllers
+(:mod:`repro.streaming.adaptive`) pick a rung per frame; the ladder
+owns what the rungs *are* and how to build their codecs consistently.
+
+The quality scores are nominal, not measured: ``1.0`` means the
+display receives pixel-exact frames (NoCom, PNG, BD are lossless) and
+lower values model the perceptual headroom a rung spends — the
+perceptual codec alters peripheral colors the paper argues are
+indistinguishable, so its score is high but below the lossless rungs.
+They exist to give adaptive policies a quality axis to report against,
+exactly like the per-representation quality tables in DASH work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
+
+from .context import FrameContext
+from .registry import get_codec, resolve_codec_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.pipeline import PerceptualEncoder
+    from ..scenes.display import DisplayGeometry
+    from .base import Codec
+
+__all__ = [
+    "QualityRung",
+    "QualityLadder",
+    "DEFAULT_LADDER_SPEC",
+    "encode_stereo_bits",
+]
+
+#: ``(codec name, nominal quality)`` pairs of the default ladder, in
+#: descending-bitrate order.  Lossless rungs score slightly apart so the
+#: quality axis stays strictly monotone with cost; the perceptual rung
+#: sits just below them (its adjustments are modeled as imperceptible
+#: but not pixel-exact).
+DEFAULT_LADDER_SPEC: tuple[tuple[str, float], ...] = (
+    ("nocom", 1.00),
+    ("png", 0.99),
+    ("bd", 0.98),
+    ("variable-bd", 0.96),
+    ("perceptual", 0.93),
+)
+
+
+@dataclass(frozen=True)
+class QualityRung:
+    """One step of a quality ladder: a codec at a quality level.
+
+    Parameters
+    ----------
+    name:
+        Rung label used in reports (defaults to the codec name).
+    codec:
+        Canonical codec-registry name this rung encodes with.
+    quality:
+        Modeled delivered perceptual quality in ``(0, 1]``; ``1.0`` is
+        pixel-exact.
+    codec_kwargs:
+        Extra constructor keyword arguments for the codec, stored as a
+        tuple of ``(key, value)`` pairs so the rung stays hashable.
+    """
+
+    name: str
+    codec: str
+    quality: float
+    codec_kwargs: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("rung name must be non-empty")
+        if not 0.0 < self.quality <= 1.0:
+            raise ValueError(
+                f"rung {self.name!r}: quality must be in (0, 1], got {self.quality}"
+            )
+        object.__setattr__(self, "codec", resolve_codec_name(self.codec))
+
+    def build(self, perceptual_encoder: "PerceptualEncoder | None" = None) -> "Codec":
+        """Instantiate this rung's codec.
+
+        Mirrors the routing of
+        :func:`repro.streaming.session.build_streaming_codec` so a rung
+        and a pinned streaming session construct bit-identical codecs:
+        the perceptual rung wraps ``perceptual_encoder`` and the BD
+        variants inherit its tile size, keeping every rung's tiling
+        consistent within one ladder.
+
+        Parameters
+        ----------
+        perceptual_encoder:
+            The session's perceptual encoder; a default
+            :class:`~repro.core.pipeline.PerceptualEncoder` is built
+            when omitted.
+
+        Returns
+        -------
+        Codec
+            A fresh codec instance (stateful codecs are not shared
+            across streams).
+        """
+        from ..core.pipeline import PerceptualEncoder  # cycle guard
+
+        kwargs = dict(self.codec_kwargs)
+        encoder = (
+            perceptual_encoder if perceptual_encoder is not None else PerceptualEncoder()
+        )
+        if self.codec == "perceptual":
+            kwargs.setdefault("encoder", encoder)
+        elif self.codec in ("bd", "variable-bd", "temporal-bd"):
+            kwargs.setdefault("tile_size", encoder.tile_size)
+        return get_codec(self.codec, **kwargs)
+
+
+@dataclass(frozen=True)
+class QualityLadder:
+    """An ordered set of rungs, best quality (highest bitrate) first.
+
+    Index ``0`` is the most expensive, highest-quality rung; stepping
+    *down* the ladder (increasing index) trades quality for bits.
+    Rungs must carry unique names and non-increasing quality, so the
+    index order is simultaneously the bitrate order and the quality
+    order — the invariant every rate controller relies on.
+
+    Parameters
+    ----------
+    rungs:
+        The rungs, descending by bitrate and quality.
+    """
+
+    rungs: tuple[QualityRung, ...]
+
+    def __post_init__(self):
+        rungs = tuple(self.rungs)
+        object.__setattr__(self, "rungs", rungs)
+        if not rungs:
+            raise ValueError("a ladder needs at least one rung")
+        names = [rung.name for rung in rungs]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate rung names: {duplicates}")
+        qualities = [rung.quality for rung in rungs]
+        if any(a < b for a, b in zip(qualities, qualities[1:])):
+            raise ValueError(
+                "rung quality must be non-increasing from index 0 "
+                f"(best first), got {qualities}"
+            )
+
+    @classmethod
+    def default(cls) -> "QualityLadder":
+        """The registry-derived default ladder.
+
+        Builds :data:`DEFAULT_LADDER_SPEC` — NoCom, PNG, BD,
+        variable BD, perceptual at descending bitrates — skipping any
+        codec missing from the registry, so downstream registries with
+        a subset of the built-ins still get a working ladder.
+        """
+        rungs = []
+        for codec_name, quality in DEFAULT_LADDER_SPEC:
+            try:
+                canonical = resolve_codec_name(codec_name)
+            except KeyError:
+                continue
+            rungs.append(QualityRung(name=canonical, codec=canonical, quality=quality))
+        return cls(rungs=tuple(rungs))
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Rung names, best quality first."""
+        return tuple(rung.name for rung in self.rungs)
+
+    def index_of(self, name: str) -> int:
+        """Index of the rung named (or encoding with codec) ``name``.
+
+        Accepts a rung name, a codec-registry name, or an alias
+        (``raw`` finds the ``nocom`` rung), so a
+        :class:`~repro.streaming.server.ClientConfig` codec maps
+        straight onto its pinned rung.
+
+        Raises
+        ------
+        KeyError
+            If no rung matches.
+        """
+        for index, rung in enumerate(self.rungs):
+            if rung.name == name:
+                return index
+        try:
+            canonical = resolve_codec_name(name)
+        except KeyError:
+            canonical = None
+        if canonical is not None:
+            for index, rung in enumerate(self.rungs):
+                if rung.codec == canonical:
+                    return index
+        raise KeyError(f"no rung named {name!r}; have {list(self.names)}")
+
+    def build_codec(
+        self, index: int, perceptual_encoder: "PerceptualEncoder | None" = None
+    ) -> "Codec":
+        """A fresh codec instance for the rung at ``index``."""
+        return self.rungs[index].build(perceptual_encoder)
+
+    def __len__(self) -> int:
+        return len(self.rungs)
+
+    def __iter__(self) -> Iterator[QualityRung]:
+        return iter(self.rungs)
+
+    def __getitem__(self, index: int) -> QualityRung:
+        return self.rungs[index]
+
+
+def encode_stereo_bits(
+    codecs: Sequence["Codec"],
+    eyes,
+    eccentricity,
+    display: "DisplayGeometry",
+) -> tuple[int, ...]:
+    """Stereo-payload bits of one frame under each codec.
+
+    The one ladder-encode loop every rung-stream producer shares (the
+    adaptive session, the fleet engine, and the calibration sweep):
+    each eye gets a single :class:`~repro.codecs.context.FrameContext`
+    reused across all codecs, so quantization and tiling run at most
+    once per eye however many rungs are encoded.
+
+    Parameters
+    ----------
+    codecs:
+        Codec instances, one per ladder rung (order preserved).
+    eyes:
+        The per-eye linear-RGB frames (typically the left/right pair).
+    eccentricity:
+        Shared per-pixel eccentricity map for both eyes.
+    display:
+        Headset geometry forwarded to the contexts.
+
+    Returns
+    -------
+    tuple of int
+        Summed both-eye payload bits, one entry per codec.
+    """
+    ctxs = [
+        FrameContext(eye, eccentricity=eccentricity, display=display) for eye in eyes
+    ]
+    return tuple(
+        sum(codec.encode(ctx).total_bits for ctx in ctxs) for codec in codecs
+    )

@@ -46,6 +46,7 @@ class NoComCodec(Codec):
     """Uncompressed framebuffer: 24 bits per pixel, no transform."""
 
     def encode(self, ctx: FrameContext) -> EncodedFrame:
+        """Cost the frame at a flat 24 bits per pixel."""
         breakdown = SizeBreakdown.uncompressed(ctx.n_pixels)
         return EncodedFrame(
             codec=self.name,
@@ -65,6 +66,7 @@ class BDCostCodec(Codec):
         self.tile_size = tile_size
 
     def encode(self, ctx: FrameContext) -> EncodedFrame:
+        """Cost the frame under fixed-width Base+Delta tiling."""
         tiles, _grid = ctx.tiles(self.tile_size)
         breakdown = bd_breakdown(tiles, n_pixels=ctx.n_pixels)
         return EncodedFrame(
@@ -86,6 +88,7 @@ class PNGCostCodec(Codec):
         self.level = level
 
     def encode(self, ctx: FrameContext) -> EncodedFrame:
+        """Cost the frame as PNG filter+DEFLATE output bits."""
         bits = png_compressed_bits(ctx.srgb8, level=self.level)
         return EncodedFrame(
             codec=self.name,
@@ -104,6 +107,7 @@ class SCCCodec(Codec):
         self.model = model
 
     def encode(self, ctx: FrameContext) -> EncodedFrame:
+        """Cost the frame at SCC's constant per-pixel index width."""
         bpp = scc_bits_per_pixel(self.eccentricity, model=self.model)
         return EncodedFrame(
             codec=self.name,
@@ -133,6 +137,7 @@ class PerceptualCodec(Codec):
         self.encoder = encoder if encoder is not None else PerceptualEncoder(**encoder_kwargs)
 
     def encode(self, ctx: FrameContext) -> EncodedFrame:
+        """Adjust colors perceptually, then cost the frame under BD."""
         return self.encoder.encode_frame(ctx.frame_linear, ctx.eccentricity)
 
 
@@ -149,6 +154,7 @@ class VariableBDCostCodec(Codec):
         self.group_size = group_size
 
     def encode(self, ctx: FrameContext) -> EncodedFrame:
+        """Cost the frame under per-group variable-width Base+Delta."""
         tiles, _grid = ctx.tiles(self.tile_size)
         breakdown = variable_bd_breakdown(tiles, self.group_size, n_pixels=ctx.n_pixels)
         return EncodedFrame(
@@ -178,6 +184,7 @@ class TemporalBDCodec(Codec):
         self._accountant = TemporalBDAccountant()
 
     def encode(self, ctx: FrameContext) -> EncodedFrame:
+        """Cost the frame against spatial *and* previous-frame deltas."""
         tiles, _grid = ctx.tiles(self.tile_size)
         breakdown = self._accountant.push(tiles, n_pixels=ctx.n_pixels)
         return EncodedFrame(
@@ -189,8 +196,10 @@ class TemporalBDCodec(Codec):
         )
 
     def encode_batch(self, ctxs) -> list[EncodedFrame]:
+        """Encode a sequence as one clean stream (state reset first)."""
         self.reset()
         return super().encode_batch(ctxs)
 
     def reset(self) -> None:
+        """Forget the previous frame (call on a scene cut)."""
         self._accountant = TemporalBDAccountant()

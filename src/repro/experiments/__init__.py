@@ -8,6 +8,7 @@ pytest-benchmark targets, and the modules are runnable directly
 
 from . import (
     ablations,
+    adaptive,
     extensions,
     fleet,
     quality,
@@ -25,6 +26,7 @@ from .common import ExperimentConfig, encoder_for, format_table, render_eval_fra
 
 __all__ = [
     "ablations",
+    "adaptive",
     "extensions",
     "fleet",
     "quality",

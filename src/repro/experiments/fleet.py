@@ -20,8 +20,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..codecs.ladder import QualityLadder
 from ..codecs.registry import resolve_codec_name
 from ..scenes.gaze import saccade_trace
+from ..streaming.adaptive import RateController
 from ..streaming.link import WIFI6_LINK, WirelessLink
 from ..streaming.server import (
     ClientConfig,
@@ -70,13 +72,17 @@ class FleetResult:
     solo_fps: dict[str, float]  # client name -> uncontended fps
 
     def table(self) -> str:
+        """Per-client solo-vs-fleet table (plus adaptation columns)."""
+        adaptive = self.report.is_adaptive
         headers = [
             "client", "scene", "codec", "kB/frame",
             "solo fps", "fleet fps", "target", "ok",
         ]
+        if adaptive:
+            headers += ["stall ms", "switches", "quality"]
         rows = []
         for client in self.report.clients:
-            rows.append([
+            row = [
                 client.name,
                 client.scene,
                 client.encoder,
@@ -85,7 +91,15 @@ class FleetResult:
                 client.sustainable_fps,
                 f"{client.target_fps:g}",
                 "yes" if client.meets_target else "NO",
-            ])
+            ]
+            if adaptive:
+                stats = client.adaptive
+                row += [
+                    stats.stall_time_s * 1e3,
+                    stats.rung_switches,
+                    f"{stats.mean_quality:.3f}",
+                ]
+            rows.append(row)
         fleet = self.report
         return format_table(headers, rows, precision=1) + (
             f"\n{fleet.summary()}"
@@ -138,6 +152,8 @@ def run_fleet(
     n_jobs: int = 1,
     target_fps: float = 72.0,
     lenient_codecs: bool = False,
+    controller: str | RateController | None = None,
+    ladder: QualityLadder | None = None,
 ) -> FleetResult:
     """Simulate the fleet and compare solo vs contended frame rates.
 
@@ -147,6 +163,11 @@ def run_fleet(
     the default roster is used — the CLI sets this for multi-experiment
     runs, where a shared ``--codecs`` filter aimed at the sweep
     experiments must not break the fleet leg of an ``all`` run.
+
+    ``controller`` switches the fleet to adaptive rate control: every
+    client starts on its cycled codec's rung and re-picks per frame
+    from ``ladder`` (the CLI's ``--controller``/``--trace`` flags feed
+    this path).
     """
     config = config or ExperimentConfig()
     codecs = tuple(config.codec_names or DEFAULT_FLEET_CODECS)
@@ -170,6 +191,8 @@ def run_fleet(
         n_jobs=n_jobs,
         display=config.display,
         seed=config.seed,
+        controller=controller,
+        ladder=ladder,
     )
     solo = {
         client.name: solo_sustainable_fps(client, link)

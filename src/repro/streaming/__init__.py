@@ -1,5 +1,26 @@
-"""Remote-rendering streaming substrate (paper Sec. 2.2, Fig. 3)."""
+"""Remote-rendering streaming substrate (paper Sec. 2.2, Fig. 3).
 
+Layers, bottom up: :mod:`~repro.streaming.traces` models time-varying
+link capacity, :mod:`~repro.streaming.link` the wireless hop,
+:mod:`~repro.streaming.session` a single client's stream,
+:mod:`~repro.streaming.adaptive` per-frame rate control, and
+:mod:`~repro.streaming.server` a fleet of clients contending for one
+link.
+"""
+
+from .adaptive import (
+    CONTROLLER_CHOICES,
+    AdaptationState,
+    AdaptiveSessionReport,
+    AdaptiveStats,
+    BufferController,
+    ControllerContext,
+    FixedController,
+    RateController,
+    ThroughputController,
+    get_controller,
+    simulate_adaptive_session,
+)
 from .link import WIFI6_LINK, WIGIG_LINK, WirelessLink
 from .server import (
     SCHEDULER_CHOICES,
@@ -20,16 +41,31 @@ from .session import (
     build_streaming_codec,
     simulate_session,
 )
+from .traces import TRACE_SPEC_KINDS, BandwidthTrace, parse_trace_spec
 
 __all__ = [
     "WIFI6_LINK",
     "WIGIG_LINK",
     "WirelessLink",
+    "BandwidthTrace",
+    "parse_trace_spec",
+    "TRACE_SPEC_KINDS",
     "ENCODER_CHOICES",
     "FrameTiming",
     "SessionReport",
     "build_streaming_codec",
     "simulate_session",
+    "CONTROLLER_CHOICES",
+    "AdaptationState",
+    "AdaptiveSessionReport",
+    "AdaptiveStats",
+    "BufferController",
+    "ControllerContext",
+    "FixedController",
+    "RateController",
+    "ThroughputController",
+    "get_controller",
+    "simulate_adaptive_session",
     "SCHEDULER_CHOICES",
     "ClientConfig",
     "ClientReport",

@@ -1,0 +1,639 @@
+"""Adaptive rate control: pick each frame's codec rung from feedback.
+
+The session and fleet simulators historically pinned every client to
+one codec for its whole stream.  Real streaming stacks (DASH and its
+descendants) instead adapt: they watch what the network delivers and
+pick the next chunk's representation accordingly.  This module closes
+that loop at frame granularity:
+
+* a :class:`RateController` is a *pure policy*: given this frame's
+  per-rung encoded sizes and the measured link state, it returns the
+  index of the rung to transmit.  Built-ins: ``fixed`` (today's
+  pinned-codec behavior), ``buffer`` (queue-occupancy driven), and
+  ``throughput`` (EWMA of measured goodput, clamped by the MAC's
+  reported instantaneous PHY rate);
+* an :class:`AdaptationState` carries the per-client feedback loop —
+  transmit backlog, goodput EWMA, rung dwell times, stalls — and is
+  shared by the single-session and fleet simulators, so both use the
+  same controller inputs and report the same metrics.  (Transport
+  pricing still differs by design: a single session queues each
+  payload behind its own backlog, while the fleet — like the
+  pre-adaptive engine it reproduces bit for bit under ``fixed`` —
+  prices every round's payloads as offered together at the round
+  start, with backlog feeding the controllers and the stall metric
+  rather than the scheduler.);
+* :func:`simulate_adaptive_session` streams one client over a (usually
+  time-varying) link and reports rung switches, time-in-rung, stall
+  time, and delivered perceptual quality on top of the usual
+  :class:`~repro.streaming.session.SessionReport` numbers.
+
+The server encodes **every** ladder rung for each frame and transmits
+one — exactly what a real ladder encoder does — so controllers may use
+the current frame's actual rung sizes when choosing, not stale
+estimates.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..codecs.ladder import QualityLadder, encode_stereo_bits
+from ..core.pipeline import PerceptualEncoder
+from ..scenes.display import QUEST2_DISPLAY, DisplayGeometry
+from ..scenes.library import Scene
+from .link import WirelessLink
+from .session import FrameTiming, SessionReport
+
+__all__ = [
+    "ControllerContext",
+    "RateController",
+    "FixedController",
+    "BufferController",
+    "ThroughputController",
+    "CONTROLLER_CHOICES",
+    "get_controller",
+    "AdaptiveStats",
+    "AdaptationState",
+    "AdaptiveSessionReport",
+    "simulate_adaptive_session",
+]
+
+
+@dataclass(frozen=True)
+class ControllerContext:
+    """Everything a rate controller may look at when picking a rung.
+
+    Attributes
+    ----------
+    frame_index:
+        Zero-based index of the frame about to be transmitted.
+    time_s:
+        Session time at the start of this frame interval.
+    interval_s:
+        Frame interval (``1 / target_fps``) in seconds.
+    rung_bits:
+        This frame's encoded payload per ladder rung, best rung first —
+        the server encodes the whole ladder, so these are exact sizes,
+        not estimates.
+    backlog_s:
+        Transmit-queue occupancy in seconds: how far behind the
+        display clock the client's transmissions are running.
+    goodput_bps:
+        EWMA of measured delivered goodput in bits/second, or ``None``
+        before the first frame completes.
+    link_bps:
+        The MAC's reported instantaneous PHY rate in bits/second — the
+        cross-layer hint real Wi-Fi rate adaptation exposes.  Under
+        contention the achievable share is lower; ``goodput_bps``
+        captures that.
+    current_rung:
+        The rung index used for the previous frame (or the starting
+        rung on frame 0).
+    """
+
+    frame_index: int
+    time_s: float
+    interval_s: float
+    rung_bits: tuple[int, ...]
+    backlog_s: float
+    goodput_bps: float | None
+    link_bps: float
+    current_rung: int
+
+
+class RateController(abc.ABC):
+    """Policy choosing the next frame's ladder rung.
+
+    Controllers are **stateless**: every signal they may react to
+    arrives in the :class:`ControllerContext`, and all feedback state
+    (backlog, goodput EWMA) lives in the per-client
+    :class:`AdaptationState`.  One controller instance can therefore
+    drive any number of clients.
+    """
+
+    #: Registry name (the CLI's ``--controller`` spelling).
+    name: str = ""
+
+    #: Weight of the newest sample in the goodput EWMA that
+    #: :class:`AdaptationState` maintains on this controller's behalf
+    #: (and feeds back via ``ControllerContext.goodput_bps``).
+    #: Controllers that react to goodput may override it.
+    ewma_alpha: float = 0.3
+
+    @abc.abstractmethod
+    def select_rung(self, ladder: QualityLadder, ctx: ControllerContext) -> int:
+        """Return the ladder index to transmit for this frame.
+
+        Parameters
+        ----------
+        ladder:
+            The quality ladder rungs are drawn from.
+        ctx:
+            The frame's sizes and measured link state.
+
+        Returns
+        -------
+        int
+            A rung index; the caller clamps it into range.
+        """
+
+
+class FixedController(RateController):
+    """Always the same rung — the pre-adaptive pinned-codec behavior.
+
+    Parameters
+    ----------
+    rung:
+        Ladder index or rung/codec name to pin.  ``None`` (default)
+        keeps whatever rung the client started on — for fleet clients
+        that is the rung matching their configured codec, which makes
+        ``fixed`` reproduce the non-adaptive simulation bit for bit.
+    """
+
+    name = "fixed"
+
+    def __init__(self, rung: int | str | None = None):
+        self.rung = rung
+
+    def select_rung(self, ladder: QualityLadder, ctx: ControllerContext) -> int:
+        """Return the pinned rung (or hold the client's current one)."""
+        if self.rung is None:
+            return ctx.current_rung
+        if isinstance(self.rung, str):
+            return ladder.index_of(self.rung)
+        return int(self.rung)
+
+
+class BufferController(RateController):
+    """Queue-occupancy-driven adaptation (BBA-style).
+
+    Watches the transmit backlog — how many seconds of encoded frames
+    are waiting for air time — and steps one rung down when it exceeds
+    ``high_s``, one rung up when it falls below ``low_s``, holding in
+    between.  The one-rung-at-a-time rule keeps switching smooth, at
+    the price of reacting over several frames.
+
+    Parameters
+    ----------
+    high_s:
+        Backlog (seconds) above which the controller steps down to a
+        cheaper rung.
+    low_s:
+        Backlog below which it steps back up toward quality.
+    """
+
+    name = "buffer"
+
+    def __init__(self, high_s: float = 0.01, low_s: float = 0.002):
+        if not 0 <= low_s < high_s:
+            raise ValueError(
+                f"need 0 <= low_s < high_s, got low_s={low_s}, high_s={high_s}"
+            )
+        self.high_s = high_s
+        self.low_s = low_s
+
+    def select_rung(self, ladder: QualityLadder, ctx: ControllerContext) -> int:
+        """Step down on high backlog, up on low, else hold."""
+        if ctx.backlog_s > self.high_s:
+            return ctx.current_rung + 1
+        if ctx.backlog_s < self.low_s:
+            return ctx.current_rung - 1
+        return ctx.current_rung
+
+
+class ThroughputController(RateController):
+    """Goodput-driven adaptation with a PHY-rate clamp.
+
+    Estimates deliverable bits per frame interval as ``safety`` times
+    the smaller of (a) the EWMA of measured goodput — what this client
+    actually achieved, which under contention is its *share* — and (b)
+    the MAC's instantaneous PHY rate, which reacts to fades within the
+    same frame.  It then transmits the best rung whose exact encoded
+    size fits that budget; when none does, it sends the smallest
+    payload on offer (per-frame bitrates are content-dependent, so the
+    smallest rung is not always the last one).
+
+    Parameters
+    ----------
+    safety:
+        Fraction of the estimated capacity to actually spend, in
+        ``(0, 1]``; headroom against estimation error.
+    ewma_alpha:
+        Weight of the newest goodput sample in the EWMA, in
+        ``(0, 1]``.  The effective adaptation window is roughly
+        ``interval / alpha`` seconds.
+    """
+
+    name = "throughput"
+
+    def __init__(self, safety: float = 0.8, ewma_alpha: float = 0.3):
+        if not 0.0 < safety <= 1.0:
+            raise ValueError(f"safety must be in (0, 1], got {safety}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self.safety = safety
+        self.ewma_alpha = ewma_alpha
+
+    def select_rung(self, ladder: QualityLadder, ctx: ControllerContext) -> int:
+        """Best rung whose exact size fits the estimated capacity."""
+        estimate_bps = ctx.link_bps
+        if ctx.goodput_bps is not None:
+            estimate_bps = min(estimate_bps, ctx.goodput_bps)
+        budget_bits = self.safety * estimate_bps * ctx.interval_s
+        for index, bits in enumerate(ctx.rung_bits):
+            if bits <= budget_bits:
+                return index
+        # Nothing fits: shed as much load as possible (ties break
+        # toward the higher-quality rung).
+        return min(range(len(ctx.rung_bits)), key=lambda i: (ctx.rung_bits[i], i))
+
+
+_CONTROLLERS: dict[str, type[RateController]] = {
+    cls.name: cls for cls in (FixedController, BufferController, ThroughputController)
+}
+
+#: Valid ``--controller`` spellings.
+CONTROLLER_CHOICES = tuple(_CONTROLLERS)
+
+
+def get_controller(controller: str | RateController, **kwargs) -> RateController:
+    """Resolve a controller name (or pass an instance through).
+
+    Parameters
+    ----------
+    controller:
+        A name from :data:`CONTROLLER_CHOICES` or a ready
+        :class:`RateController` instance.
+    kwargs:
+        Constructor arguments for a named controller; rejected when an
+        instance is passed.
+
+    Raises
+    ------
+    ValueError
+        For unknown names, or kwargs alongside an instance.
+    """
+    if isinstance(controller, RateController):
+        if kwargs:
+            raise ValueError(
+                "controller kwargs have no effect when an instance is passed"
+            )
+        return controller
+    try:
+        factory = _CONTROLLERS[controller]
+    except KeyError:
+        raise ValueError(
+            f"unknown controller {controller!r}; expected one of {CONTROLLER_CHOICES}"
+        ) from None
+    return factory(**kwargs)
+
+
+@dataclass(frozen=True)
+class AdaptiveStats:
+    """Adaptation outcome of one client's stream.
+
+    Attributes
+    ----------
+    controller:
+        Name of the policy that drove the stream.
+    rungs:
+        Rung name transmitted for each frame, in order.
+    rung_switches:
+        How many frames used a different rung than their predecessor.
+    time_in_rung:
+        Display time (seconds) attributed to each rung name.
+    stall_time_s:
+        Total time playback fell *further* behind the display clock —
+        the rebuffering metric of the streaming literature at frame
+        granularity.  Counted as transmit-backlog growth, so a
+        constant pipeline delay is charged once, not every frame.
+    mean_quality:
+        Mean of the transmitted rungs' nominal quality scores.
+    """
+
+    controller: str
+    rungs: tuple[str, ...]
+    rung_switches: int
+    time_in_rung: dict[str, float]
+    stall_time_s: float
+    mean_quality: float
+
+
+class AdaptationState:
+    """Per-client feedback loop shared by the session and fleet paths.
+
+    Owns everything the controller reads (backlog, goodput EWMA,
+    current rung) and everything the reports show (switch counts, rung
+    dwell times, stall time, delivered quality).  The simulators drive
+    it with two calls per frame: :meth:`choose` before transmitting,
+    :meth:`record` once the scheduler has priced the transmission.
+
+    Parameters
+    ----------
+    controller:
+        The (stateless) policy instance.
+    ladder:
+        The quality ladder rungs are drawn from.
+    start_rung:
+        Rung index in effect before the first frame.
+    interval_s:
+        Frame interval (``1 / target_fps``) in seconds.
+    """
+
+    def __init__(
+        self,
+        controller: RateController,
+        ladder: QualityLadder,
+        start_rung: int,
+        interval_s: float,
+    ):
+        if not 0 <= start_rung < len(ladder):
+            raise ValueError(
+                f"start_rung {start_rung} outside ladder of {len(ladder)} rungs"
+            )
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self.controller = controller
+        self.ladder = ladder
+        self.interval_s = interval_s
+        self.rung = start_rung
+        self.backlog_s = 0.0
+        self.goodput_bps: float | None = None
+        self.rung_names: list[str] = []
+        self.rung_switches = 0
+        self.time_in_rung: dict[str, float] = {}
+        self.stall_time_s = 0.0
+        self._quality_sum = 0.0
+
+    def choose(
+        self,
+        frame_index: int,
+        time_s: float,
+        rung_bits: tuple[int, ...],
+        link_bps: float,
+    ) -> int:
+        """Pick (and commit to) the rung for this frame.
+
+        Parameters
+        ----------
+        frame_index:
+            Zero-based frame number.
+        time_s:
+            Session time at the interval start.
+        rung_bits:
+            Exact encoded size of this frame at every rung.
+        link_bps:
+            Instantaneous PHY rate at ``time_s`` in bits/second.
+
+        Returns
+        -------
+        int
+            The chosen rung index (clamped into the ladder).
+        """
+        ctx = ControllerContext(
+            frame_index=frame_index,
+            time_s=time_s,
+            interval_s=self.interval_s,
+            rung_bits=tuple(rung_bits),
+            backlog_s=self.backlog_s,
+            goodput_bps=self.goodput_bps,
+            link_bps=link_bps,
+            current_rung=self.rung,
+        )
+        chosen = int(self.controller.select_rung(self.ladder, ctx))
+        chosen = max(0, min(chosen, len(self.ladder) - 1))
+        if self.rung_names and chosen != self.rung:
+            self.rung_switches += 1
+        self.rung = chosen
+        return chosen
+
+    def record(self, payload_bits: int, drain_s: float) -> None:
+        """Fold one transmitted frame's timing back into the loop.
+
+        Updates the goodput EWMA with this frame's delivered rate, adds
+        any deadline overrun to the stall total, and rolls the backlog
+        forward: a frame whose transmission (queued behind the backlog)
+        completes after the next display refresh leaves the excess
+        queued.
+
+        Stall is a *throughput* metric: it accrues only while the
+        transmit backlog is **growing** — each frame contributes how
+        much further behind the display clock its transmission left
+        the stream, so a persistent one-interval pipeline delay is
+        charged once, not once per frame.  Fixed propagation and
+        jitter overhead pipeline across frames — they shift latency,
+        not sustainable rate — so they are excluded too, mirroring the
+        serialization-vs-encode bound of
+        :attr:`~repro.streaming.session.SessionReport.sustainable_fps`.
+
+        Parameters
+        ----------
+        payload_bits:
+            Bits actually transmitted (the chosen rung's size).
+        drain_s:
+            Scheduler-assigned time for this payload to leave the air
+            (contended time under a fleet scheduler).
+        """
+        rung = self.ladder[self.rung]
+        self.rung_names.append(rung.name)
+        self._quality_sum += rung.quality
+        self.time_in_rung[rung.name] = (
+            self.time_in_rung.get(rung.name, 0.0) + self.interval_s
+        )
+        new_backlog_s = max(0.0, self.backlog_s + drain_s - self.interval_s)
+        self.stall_time_s += max(0.0, new_backlog_s - self.backlog_s)
+        if drain_s > 0 and payload_bits > 0:
+            sample = payload_bits / drain_s
+            if self.goodput_bps is None:
+                self.goodput_bps = sample
+            else:
+                self.goodput_bps += self.controller.ewma_alpha * (
+                    sample - self.goodput_bps
+                )
+        self.backlog_s = new_backlog_s
+
+    def stats(self) -> AdaptiveStats:
+        """Freeze the accumulated telemetry into an :class:`AdaptiveStats`."""
+        n_frames = len(self.rung_names)
+        return AdaptiveStats(
+            controller=self.controller.name,
+            rungs=tuple(self.rung_names),
+            rung_switches=self.rung_switches,
+            time_in_rung=dict(self.time_in_rung),
+            stall_time_s=self.stall_time_s,
+            mean_quality=self._quality_sum / n_frames if n_frames else 0.0,
+        )
+
+
+@dataclass(frozen=True)
+class AdaptiveSessionReport(SessionReport):
+    """A :class:`~repro.streaming.session.SessionReport` plus adaptation.
+
+    All aggregate properties of the base report apply unchanged; the
+    ``adaptive`` field adds the rate-control telemetry and ``ladder``
+    names the rungs that were available.
+    """
+
+    adaptive: AdaptiveStats | None = None
+    ladder: tuple[str, ...] = ()
+
+
+def simulate_adaptive_session(
+    scene: Scene,
+    link: WirelessLink,
+    controller: str | RateController = "throughput",
+    ladder: QualityLadder | None = None,
+    n_frames: int = 8,
+    height: int = 192,
+    width: int = 192,
+    target_fps: float = 72.0,
+    display: DisplayGeometry = QUEST2_DISPLAY,
+    perceptual_encoder: PerceptualEncoder | None = None,
+    encode_throughput_mpixels_s: float = 500.0,
+    seed: int = 0,
+    start_rung: str | int | None = None,
+    loop_frames: int | None = None,
+    rung_streams: Sequence[tuple[int, ...]] | None = None,
+) -> AdaptiveSessionReport:
+    """Stream one client with per-frame rate control over a link.
+
+    Each frame interval the server renders a stereo frame, encodes it
+    at **every** ladder rung, asks the controller which rung to
+    transmit, and ships that payload over the (possibly time-varying)
+    link.  Transmissions queue behind any backlog from earlier frames,
+    so sustained over-subscription shows up as stall time rather than
+    silently overlapping transmissions.
+
+    Parameters
+    ----------
+    scene:
+        The scene to render.
+    link:
+        The wireless link; attach a trace for a fading channel.
+    controller:
+        Rate-control policy (name or instance).
+    ladder:
+        Quality ladder; defaults to
+        :meth:`~repro.codecs.ladder.QualityLadder.default`.
+    n_frames:
+        Frames to stream.
+    height, width:
+        Per-eye render resolution.
+    target_fps:
+        Display refresh rate; sets the frame interval.
+    display:
+        Headset geometry for the eccentricity map.
+    perceptual_encoder:
+        Shared perceptual encoder for the ladder's perceptual/BD rungs.
+    encode_throughput_mpixels_s:
+        Server-side encoder rate (as in
+        :func:`~repro.streaming.session.simulate_session`).
+    seed:
+        Seed for the link-jitter stream.
+    start_rung:
+        Rung (index or name) in effect before the first frame;
+        defaults to the best rung.
+    loop_frames:
+        Encode only this many unique frames and cycle them over the
+        timeline — decouples simulated duration from encode cost for
+        long fading studies.  ``None`` encodes every frame.
+    rung_streams:
+        Precomputed per-frame ladder sizes (one tuple of payload bits
+        per frame, best rung first), e.g. from a previous run over the
+        same scene and ladder.  Skips rendering and encoding entirely;
+        shorter streams cycle like ``loop_frames``.  Callers sweeping
+        several policies over identical content use this to pay the
+        ladder-encode cost once.
+
+    Returns
+    -------
+    AdaptiveSessionReport
+        Per-frame timings plus :class:`AdaptiveStats`.
+    """
+    if n_frames <= 0:
+        raise ValueError(f"n_frames must be positive, got {n_frames}")
+    if target_fps <= 0:
+        raise ValueError(f"target_fps must be positive, got {target_fps}")
+    if encode_throughput_mpixels_s <= 0:
+        raise ValueError("encode_throughput_mpixels_s must be positive")
+    if loop_frames is not None and loop_frames <= 0:
+        raise ValueError(f"loop_frames must be positive, got {loop_frames}")
+
+    engine = get_controller(controller)
+    ladder = ladder if ladder is not None else QualityLadder.default()
+    interval_s = 1.0 / target_fps
+    if start_rung is None:
+        initial = 0
+    elif isinstance(start_rung, str):
+        initial = ladder.index_of(start_rung)
+    else:
+        initial = int(start_rung)
+    state = AdaptationState(engine, ladder, initial, interval_s)
+
+    rng = np.random.default_rng(seed)
+    encode_rate_pixels_s = encode_throughput_mpixels_s * 1e6
+    encode_time = 2 * height * width / encode_rate_pixels_s
+
+    if rung_streams is not None:
+        rung_streams = [tuple(frame_bits) for frame_bits in rung_streams]
+        if not rung_streams:
+            raise ValueError("rung_streams must hold at least one frame")
+        if any(len(frame_bits) != len(ladder) for frame_bits in rung_streams):
+            raise ValueError(
+                f"rung_streams entries must have one size per rung "
+                f"({len(ladder)} rungs)"
+            )
+        n_unique = len(rung_streams)
+    else:
+        # Encode the whole ladder for each unique frame; long sessions
+        # can cycle a short scene loop instead of paying encode cost
+        # per frame.
+        encoder = (
+            perceptual_encoder if perceptual_encoder is not None else PerceptualEncoder()
+        )
+        codecs = [ladder.build_codec(i, encoder) for i in range(len(ladder))]
+        eccentricity = display.eccentricity_map(height, width)
+        n_unique = min(n_frames, loop_frames) if loop_frames is not None else n_frames
+        rung_streams = []
+        for index in range(n_unique):
+            eyes = scene.render_stereo(height, width, frame=index)
+            rung_streams.append(
+                encode_stereo_bits(codecs, eyes, eccentricity, display)
+            )
+
+    frames = []
+    for index in range(n_frames):
+        time_s = index * interval_s
+        rung_bits = rung_streams[index % n_unique]
+        rung = state.choose(index, time_s, rung_bits, link.at(time_s) * 1e6)
+        payload = rung_bits[rung]
+        # The payload queues behind the existing backlog before it can
+        # start serializing; the wait is part of this frame's latency
+        # (transmit time) but not of its airtime (serialization).
+        queue_wait_s = state.backlog_s
+        send_start_s = time_s + queue_wait_s
+        serialization = link.serialization_time_s(payload, start_s=send_start_s)
+        overhead = link.overhead_time_s(rng)
+        frames.append(
+            FrameTiming(
+                frame_index=index,
+                payload_bits=payload,
+                encode_time_s=encode_time,
+                serialization_time_s=serialization,
+                transmit_time_s=queue_wait_s + serialization + overhead,
+                rung=ladder[rung].name,
+            )
+        )
+        state.record(payload, serialization)
+
+    return AdaptiveSessionReport(
+        encoder=f"adaptive:{engine.name}",
+        frames=frames,
+        target_fps=target_fps,
+        adaptive=state.stats(),
+        ladder=ladder.names,
+    )

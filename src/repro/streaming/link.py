@@ -11,6 +11,13 @@ video)".  This module models that link at frame granularity:
 with optional jitter, so the remote-rendering session simulator can
 turn encoded-frame sizes into motion-to-photon latency and achievable
 frame rates.
+
+A link is constant-rate by default.  Attach a
+:class:`~repro.streaming.traces.BandwidthTrace` (or build the link with
+:meth:`WirelessLink.traced`) and it becomes time-varying: serialization
+time then depends on *when* a payload starts transmitting, and
+:meth:`WirelessLink.at` exposes the instantaneous rate — both cheap,
+via the trace's precomputed cumulative-capacity arrays.
 """
 
 from __future__ import annotations
@@ -19,7 +26,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["WirelessLink", "WIFI6_LINK", "WIGIG_LINK"]
+from .traces import BandwidthTrace
+
+__all__ = ["WirelessLink", "WIFI6_LINK", "WIGIG_LINK", "HALF_NORMAL_MEAN_FACTOR"]
+
+#: Mean of a standard half-normal distribution: ``E[|N(0, 1)|]``.
+#: The jitter model draws ``abs(normal(0, jitter_ms))``, so the mean
+#: added delay is ``jitter_ms * HALF_NORMAL_MEAN_FACTOR`` milliseconds.
+HALF_NORMAL_MEAN_FACTOR = float(np.sqrt(2.0 / np.pi))
 
 
 @dataclass(frozen=True)
@@ -29,17 +43,27 @@ class WirelessLink:
     Attributes
     ----------
     bandwidth_mbps:
-        Effective (post-MAC) throughput in megabits per second.
+        Effective (post-MAC) throughput in megabits per second.  For a
+        traced link this is the *nominal* rate used for capacity
+        bookkeeping (e.g. utilization); the instantaneous rate comes
+        from the trace.
     propagation_ms:
         One-way propagation plus fixed protocol delay, milliseconds.
     jitter_ms:
-        Standard deviation of a truncated-Gaussian per-frame delay
-        jitter.  Zero gives a deterministic link.
+        Scale parameter of a **half-normal** per-frame delay jitter:
+        each frame adds ``abs(N(0, jitter_ms))`` milliseconds, so the
+        mean added delay is ``jitter_ms * sqrt(2 / pi)`` (~0.80 x the
+        scale).  Zero gives a deterministic link.
+    trace:
+        Optional :class:`~repro.streaming.traces.BandwidthTrace`
+        making the link's rate time-varying.  ``None`` (default) keeps
+        the constant-rate behavior.
     """
 
     bandwidth_mbps: float
     propagation_ms: float = 2.0
     jitter_ms: float = 0.0
+    trace: BandwidthTrace | None = None
 
     def __post_init__(self):
         if self.bandwidth_mbps <= 0:
@@ -49,11 +73,77 @@ class WirelessLink:
         if self.jitter_ms < 0:
             raise ValueError(f"jitter_ms must be >= 0, got {self.jitter_ms}")
 
-    def serialization_time_s(self, payload_bits: int) -> float:
-        """Time to push a payload onto the air."""
+    @classmethod
+    def traced(
+        cls,
+        trace: BandwidthTrace,
+        *,
+        propagation_ms: float = 2.0,
+        jitter_ms: float = 0.0,
+    ) -> "WirelessLink":
+        """A time-varying link driven by a bandwidth trace.
+
+        Parameters
+        ----------
+        trace:
+            The bandwidth profile; the link's nominal
+            ``bandwidth_mbps`` is set to the trace's time-averaged
+            rate.
+        propagation_ms, jitter_ms:
+            As on the constructor.
+
+        Returns
+        -------
+        WirelessLink
+            A link whose serialization times depend on send time.
+        """
+        return cls(
+            bandwidth_mbps=trace.mean_mbps,
+            propagation_ms=propagation_ms,
+            jitter_ms=jitter_ms,
+            trace=trace,
+        )
+
+    def at(self, time_s: float = 0.0) -> float:
+        """Instantaneous bandwidth in Mbps at a session time.
+
+        Constant links return ``bandwidth_mbps`` for every time; traced
+        links answer from the trace's precomputed segment arrays in
+        O(log segments).
+
+        Parameters
+        ----------
+        time_s:
+            Session time in seconds (>= 0).
+        """
+        if self.trace is None:
+            if time_s < 0:
+                raise ValueError(f"time_s must be >= 0, got {time_s}")
+            return self.bandwidth_mbps
+        return self.trace.bandwidth_mbps_at(time_s)
+
+    def serialization_time_s(self, payload_bits: int, *, start_s: float = 0.0) -> float:
+        """Time to push a payload onto the air.
+
+        Parameters
+        ----------
+        payload_bits:
+            Payload size in bits.
+        start_s:
+            Session time the transmission starts.  Irrelevant for a
+            constant link; on a traced link the payload drains through
+            whatever rates the trace holds from ``start_s`` onward.
+
+        Returns
+        -------
+        float
+            Airtime in seconds.
+        """
         if payload_bits < 0:
             raise ValueError(f"payload_bits must be >= 0, got {payload_bits}")
-        return payload_bits / (self.bandwidth_mbps * 1e6)
+        if self.trace is None:
+            return payload_bits / (self.bandwidth_mbps * 1e6)
+        return self.trace.finish_time_s(start_s, payload_bits) - start_s
 
     def overhead_time_s(self, rng: np.random.Generator | None = None) -> float:
         """Propagation plus (optional) jitter — everything but airtime.
@@ -61,6 +151,19 @@ class WirelessLink:
         The fleet engine adds this on top of scheduler-computed drain
         times, so contended and dedicated transmissions price the fixed
         per-frame overhead identically.
+
+        Parameters
+        ----------
+        rng:
+            Source for the half-normal jitter draw; without one (or
+            with ``jitter_ms == 0``) the overhead is deterministic.
+
+        Returns
+        -------
+        float
+            Overhead in seconds: ``propagation_ms`` plus a half-normal
+            jitter sample with scale ``jitter_ms`` (mean
+            ``jitter_ms * sqrt(2 / pi)`` ms).
         """
         base = self.propagation_ms * 1e-3
         if self.jitter_ms > 0 and rng is not None:
@@ -68,20 +171,44 @@ class WirelessLink:
         return base
 
     def transmit_time_s(
-        self, payload_bits: int, rng: np.random.Generator | None = None
+        self,
+        payload_bits: int,
+        rng: np.random.Generator | None = None,
+        *,
+        start_s: float = 0.0,
     ) -> float:
-        """Total one-way latency for a payload, with optional jitter."""
-        return self.serialization_time_s(payload_bits) + self.overhead_time_s(rng)
+        """Total one-way latency for a payload, with optional jitter.
 
-    def sustainable_fps(self, payload_bits: int) -> float:
+        Parameters
+        ----------
+        payload_bits:
+            Payload size in bits.
+        rng:
+            Jitter source, forwarded to :meth:`overhead_time_s`.
+        start_s:
+            Send time, forwarded to :meth:`serialization_time_s`
+            (matters only for traced links).
+        """
+        return self.serialization_time_s(payload_bits, start_s=start_s) + self.overhead_time_s(rng)
+
+    def sustainable_fps(self, payload_bits: int, *, at_s: float = 0.0) -> float:
         """Frame rate the link alone can sustain for this payload size.
 
-        Serialization is the recurring cost; propagation pipelines away.
+        Serialization is the recurring cost; propagation pipelines
+        away.  For traced links the rate is evaluated at ``at_s``.
+
+        Parameters
+        ----------
+        payload_bits:
+            Per-frame payload size in bits.
+        at_s:
+            Session time at which to evaluate a traced link's rate.
         """
-        serialization = self.serialization_time_s(payload_bits)
-        if serialization == 0:
+        if payload_bits < 0:
+            raise ValueError(f"payload_bits must be >= 0, got {payload_bits}")
+        if payload_bits == 0:
             return float("inf")
-        return 1.0 / serialization
+        return self.at(at_s) * 1e6 / payload_bits
 
 
 #: A realistic effective Wi-Fi 6 link for untethered streaming.

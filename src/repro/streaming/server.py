@@ -25,6 +25,18 @@ Client streams are independent until their payloads meet at the link,
 so with ``n_jobs > 1`` the render+encode work fans out over a process
 pool, one task per client stream — frames within a stream stay serial
 and ordered, which is what stateful codecs require.
+
+Two orthogonal extensions ride on the same round loop:
+
+* a **time-varying link** — attach a
+  :class:`~repro.streaming.traces.BandwidthTrace` and every round's
+  drain times are priced at that round's bandwidth;
+* **adaptive rate control** — pass ``controller=`` and each client
+  independently re-picks its codec rung per frame from a
+  :class:`~repro.codecs.ladder.QualityLadder`, reporting rung
+  switches, time-in-rung, stall time, and delivered quality via
+  :class:`~repro.streaming.adaptive.AdaptiveStats`.  The ``fixed``
+  controller reproduces the non-adaptive engine bit for bit.
 """
 
 from __future__ import annotations
@@ -35,11 +47,18 @@ from typing import Sequence
 
 import numpy as np
 
-from ..codecs.context import FrameContext
+from ..codecs.ladder import QualityLadder, encode_stereo_bits
 from ..parallel import worker_pool
 from ..scenes.display import QUEST2_DISPLAY, DisplayGeometry
 from ..scenes.gaze import GazeSample
 from ..scenes.library import get_scene
+from .adaptive import (
+    AdaptationState,
+    AdaptiveStats,
+    FixedController,
+    RateController,
+    get_controller,
+)
 from .link import WIFI6_LINK, WirelessLink
 from .session import ENCODER_CHOICES, FrameTiming, SessionReport, build_streaming_codec
 
@@ -73,7 +92,8 @@ class ClientConfig:
         Scene name from :mod:`repro.scenes.library`.
     codec:
         Streaming encoder name (one of
-        :data:`~repro.streaming.session.ENCODER_CHOICES`).
+        :data:`~repro.streaming.session.ENCODER_CHOICES`).  Under
+        adaptive rate control this is the client's *starting* rung.
     height, width:
         Per-eye render resolution.
     target_fps:
@@ -145,7 +165,20 @@ class ClientConfig:
         return 2 * self.height * self.width / (self.encode_throughput_mpixels_s * 1e6)
 
     def fixation_at(self, time_s: float) -> tuple[float, float]:
-        """Gaze point in effect at a session time."""
+        """Gaze point in effect at a session time.
+
+        Parameters
+        ----------
+        time_s:
+            Session time in seconds.
+
+        Returns
+        -------
+        tuple of float
+            Normalized ``(x, y)`` fixation: the latest gaze-trace
+            sample at or before ``time_s``, clamped into the frame, or
+            the static ``fixation`` without a trace.
+        """
         if not self.gaze_trace:
             return self.fixation
         current = None
@@ -171,16 +204,20 @@ class LinkScheduler(abc.ABC):
         payload_bits: Sequence[float],
         weights: Sequence[float],
         link: WirelessLink,
+        start_s: float = 0.0,
     ) -> list[float]:
-        """Completion time of each payload, offered at instant zero.
+        """Completion time of each payload, offered at ``start_s``.
 
         Returns one drain time per payload: how long after the round
         starts that client's last bit leaves the air.  Zero-size
-        payloads never occupy the link.
+        payloads never occupy the link.  ``start_s`` anchors the round
+        on the session clock so traced links price each round at its
+        own bandwidth; constant links ignore it.
         """
 
     @staticmethod
     def _validate(payload_bits: Sequence[float], weights: Sequence[float]) -> None:
+        """Reject mismatched lengths, negative payloads, bad weights."""
         if len(payload_bits) != len(weights):
             raise ValueError(
                 f"{len(payload_bits)} payloads but {len(weights)} weights"
@@ -196,19 +233,23 @@ class FairShareScheduler(LinkScheduler):
 
     Every backlogged client receives capacity in proportion to its
     weight; when one drains, its share redistributes among the rest.
-    Equal weights give the classic per-client ``1/n`` fair share.
+    Equal weights give the classic per-client ``1/n`` fair share.  On a
+    traced link the rate is re-sampled at the start of each fluid step
+    (a drain event), a piecewise approximation that is exact whenever
+    trace boundaries do not fall inside a step.
     """
 
     name = "fair"
 
-    def drain_times_s(self, payload_bits, weights, link):
+    def drain_times_s(self, payload_bits, weights, link, start_s=0.0):
+        """See :meth:`LinkScheduler.drain_times_s`."""
         self._validate(payload_bits, weights)
-        bandwidth = link.bandwidth_mbps * 1e6
         remaining = [float(bits) for bits in payload_bits]
         finish = [0.0] * len(remaining)
         active = [i for i, bits in enumerate(remaining) if bits > 0]
         now = 0.0
         while active:
+            bandwidth = link.at(start_s + now) * 1e6
             total_weight = sum(weights[i] for i in active)
             rates = {i: bandwidth * weights[i] / total_weight for i in active}
             step = min(remaining[i] / rates[i] for i in active)
@@ -229,12 +270,14 @@ class PriorityScheduler(LinkScheduler):
 
     Ties break in client order.  The heaviest client sees a dedicated
     link — useful to model one latency-critical headset among best-
-    effort peers.
+    effort peers.  On a traced link each transmission serializes at its
+    own (queued) start time, so fades land on whoever is on the air.
     """
 
     name = "priority"
 
-    def drain_times_s(self, payload_bits, weights, link):
+    def drain_times_s(self, payload_bits, weights, link, start_s=0.0):
+        """See :meth:`LinkScheduler.drain_times_s`."""
         self._validate(payload_bits, weights)
         order = sorted(
             range(len(payload_bits)), key=lambda i: (-weights[i], i)
@@ -243,7 +286,9 @@ class PriorityScheduler(LinkScheduler):
         now = 0.0
         for i in order:
             if payload_bits[i] > 0:
-                now += link.serialization_time_s(payload_bits[i])
+                now += link.serialization_time_s(
+                    payload_bits[i], start_s=start_s + now
+                )
                 finish[i] = now
         return finish
 
@@ -255,7 +300,19 @@ SCHEDULER_CHOICES = tuple(_SCHEDULERS)
 
 
 def get_scheduler(scheduler: str | LinkScheduler) -> LinkScheduler:
-    """Resolve a scheduler name (or pass an instance through)."""
+    """Resolve a scheduler name (or pass an instance through).
+
+    Parameters
+    ----------
+    scheduler:
+        A name from :data:`SCHEDULER_CHOICES` or a ready
+        :class:`LinkScheduler` instance.
+
+    Raises
+    ------
+    ValueError
+        For unknown names.
+    """
     if isinstance(scheduler, LinkScheduler):
         return scheduler
     try:
@@ -273,12 +330,14 @@ class ClientReport(SessionReport):
     Identical to a :class:`~repro.streaming.session.SessionReport` —
     including the encode-vs-serialization sustainable-fps bound — with
     the frame serialization times reflecting *contended* drain times
-    under the fleet's scheduler.
+    under the fleet's scheduler.  Adaptive fleets additionally attach
+    the client's :class:`~repro.streaming.adaptive.AdaptiveStats`.
     """
 
     name: str = ""
     scene: str = ""
     weight: float = 1.0
+    adaptive: AdaptiveStats | None = None
 
 
 @dataclass(frozen=True)
@@ -289,12 +348,26 @@ class FleetReport:
     link: WirelessLink
     scheduler: str
     n_frames: int
+    controller: str | None = None
 
     @property
     def n_clients(self) -> int:
+        """Number of clients simulated."""
         return len(self.clients)
 
+    @property
+    def is_adaptive(self) -> bool:
+        """Whether the fleet ran under a rate controller."""
+        return self.controller is not None
+
     def client(self, name: str) -> ClientReport:
+        """Look up one client's report by name.
+
+        Raises
+        ------
+        KeyError
+            If no client carries ``name``.
+        """
         for report in self.clients:
             if report.name == name:
                 return report
@@ -304,22 +377,31 @@ class FleetReport:
 
     @property
     def clients_meeting_target(self) -> int:
+        """How many clients sustain their target refresh rate."""
         return sum(report.meets_target for report in self.clients)
 
     @property
     def total_traffic_bits(self) -> int:
+        """Total bits transmitted across every client and frame."""
         return int(
             sum(frame.payload_bits for report in self.clients for frame in report.frames)
         )
 
     @property
     def mean_latency_s(self) -> float:
+        """Mean motion-to-photon contribution across all frames."""
         return float(
             np.mean([f.motion_to_photon_s for r in self.clients for f in r.frames])
         )
 
     def tail_latency_s(self, percentile: float = 95.0) -> float:
-        """Latency percentile across every frame of every client."""
+        """Latency percentile across every frame of every client.
+
+        Parameters
+        ----------
+        percentile:
+            Percentile in ``(0, 100]``.
+        """
         if not 0 < percentile <= 100:
             raise ValueError(f"percentile must be in (0, 100], got {percentile}")
         latencies = [f.motion_to_photon_s for r in self.clients for f in r.frames]
@@ -333,21 +415,52 @@ class FleetReport:
         second; the sum over clients, divided by the link bandwidth, is
         the fraction of capacity the fleet asks for.  Values above 1
         mean the link is oversubscribed — some clients necessarily miss
-        their targets.
+        their targets.  (Traced links use their nominal mean rate.)
         """
         demand = sum(
             report.mean_payload_bits * report.target_fps for report in self.clients
         )
         return demand / (self.link.bandwidth_mbps * 1e6)
 
+    @property
+    def total_stall_time_s(self) -> float:
+        """Summed stall time across adaptive clients (0 when pinned)."""
+        return float(
+            sum(r.adaptive.stall_time_s for r in self.clients if r.adaptive is not None)
+        )
+
+    @property
+    def total_rung_switches(self) -> int:
+        """Summed rung switches across adaptive clients."""
+        return int(
+            sum(r.adaptive.rung_switches for r in self.clients if r.adaptive is not None)
+        )
+
+    @property
+    def mean_quality(self) -> float | None:
+        """Mean delivered quality across adaptive clients (else ``None``)."""
+        qualities = [
+            r.adaptive.mean_quality for r in self.clients if r.adaptive is not None
+        ]
+        return float(np.mean(qualities)) if qualities else None
+
     def summary(self) -> str:
         """One-line fleet health readout."""
-        return (
+        text = (
             f"{self.clients_meeting_target}/{self.n_clients} clients meet target | "
             f"link utilization {self.link_utilization:.2f} | "
             f"p95 latency {self.tail_latency_s(95.0) * 1e3:.2f} ms | "
             f"scheduler {self.scheduler}"
         )
+        if self.is_adaptive:
+            text += (
+                f" | controller {self.controller}"
+                f" | stall {self.total_stall_time_s * 1e3:.1f} ms"
+            )
+            quality = self.mean_quality
+            if quality is not None:
+                text += f" | quality {quality:.3f}"
+        return text
 
 
 def solo_sustainable_fps(report: ClientReport, link: WirelessLink) -> float:
@@ -355,39 +468,61 @@ def solo_sustainable_fps(report: ClientReport, link: WirelessLink) -> float:
 
     Uses the same payloads and encode times the fleet produced, with
     uncontended serialization — the single-client equivalent the
-    contention studies compare against.
+    contention studies compare against.  Traced links are priced at
+    their nominal (time-averaged) rate, matching the demand basis of
+    :attr:`FleetReport.link_utilization`; pricing at trace time zero
+    would credit the solo baseline with whatever phase the trace
+    happens to start in.
+
+    Parameters
+    ----------
+    report:
+        The client's in-fleet report.
+    link:
+        The link the fleet shared.
     """
-    solo_serialization = link.serialization_time_s(report.mean_payload_bits)
+    solo_serialization = report.mean_payload_bits / (link.bandwidth_mbps * 1e6)
     bottleneck = max(solo_serialization, report.mean_encode_time_s)
     return 1.0 / bottleneck if bottleneck > 0 else float("inf")
 
 
 def _encode_client_stream(
-    client: ClientConfig, display: DisplayGeometry, n_frames: int
-) -> list[int]:
+    client: ClientConfig,
+    display: DisplayGeometry,
+    n_frames: int,
+    ladder: QualityLadder | None = None,
+    rung_indices: tuple[int, ...] | None = None,
+) -> list[tuple[int, ...]]:
     """Render and encode one client's whole stream, in display order.
 
     Runs as a unit — inline or as one process-pool task — so stateful
-    codecs always see their frames serially and in order.
+    codecs always see their frames serially and in order.  Without a
+    ladder the client's configured codec is the only "rung"; with one,
+    every frame is rendered once and encoded at each requested rung,
+    sharing the per-eye :class:`~repro.codecs.context.FrameContext`.
+
+    Returns
+    -------
+    list of tuple
+        One tuple per frame holding the payload bits of each requested
+        rung (a 1-tuple in the non-adaptive case).
     """
     scene = get_scene(client.scene)
-    codec = build_streaming_codec(client.codec)
-    codec.reset()
-    payloads = []
+    if ladder is None:
+        codecs = [build_streaming_codec(client.codec)]
+    else:
+        indices = rung_indices if rung_indices is not None else tuple(range(len(ladder)))
+        codecs = [ladder.build_codec(i) for i in indices]
+    for codec in codecs:
+        codec.reset()
+    payloads: list[tuple[int, ...]] = []
     for index in range(n_frames):
-        left, right = scene.render_stereo(client.height, client.width, frame=index)
+        eyes = scene.render_stereo(client.height, client.width, frame=index)
         fixation = client.fixation_at(index / client.target_fps)
         eccentricity = display.eccentricity_map(
             client.height, client.width, fixation=fixation
         )
-        payloads.append(
-            sum(
-                codec.encode(
-                    FrameContext(eye, eccentricity=eccentricity, display=display)
-                ).total_bits
-                for eye in (left, right)
-            )
-        )
+        payloads.append(encode_stereo_bits(codecs, eyes, eccentricity, display))
     return payloads
 
 
@@ -396,14 +531,22 @@ def _encode_streams(
     display: DisplayGeometry,
     n_frames: int,
     n_jobs: int,
-) -> list[list[int]]:
+    ladder: QualityLadder | None = None,
+    rung_indices: Sequence[tuple[int, ...] | None] | None = None,
+) -> list[list[tuple[int, ...]]]:
     """Per-client payload streams, fanned over processes when asked."""
+    per_client = rung_indices if rung_indices is not None else [None] * len(clients)
     if n_jobs == 1 or len(clients) == 1:
-        return [_encode_client_stream(c, display, n_frames) for c in clients]
+        return [
+            _encode_client_stream(c, display, n_frames, ladder, indices)
+            for c, indices in zip(clients, per_client)
+        ]
     with worker_pool(min(n_jobs, len(clients))) as pool:
         futures = [
-            pool.submit(_encode_client_stream, client, display, n_frames)
-            for client in clients
+            pool.submit(
+                _encode_client_stream, client, display, n_frames, ladder, indices
+            )
+            for client, indices in zip(clients, per_client)
         ]
         return [future.result() for future in futures]
 
@@ -417,6 +560,8 @@ def simulate_fleet(
     n_jobs: int = 1,
     display: DisplayGeometry = QUEST2_DISPLAY,
     seed: int = 0,
+    controller: str | RateController | None = None,
+    ladder: QualityLadder | None = None,
 ) -> FleetReport:
     """Stream ``n_frames`` stereo frames per client over one shared link.
 
@@ -425,6 +570,47 @@ def simulate_fleet(
     contend for the link under ``scheduler``.  ``n_jobs`` parallelizes
     the render+encode work across client streams; results are
     bit-identical for any value.
+
+    Parameters
+    ----------
+    clients:
+        The fleet; names must be unique.
+    link:
+        The shared wireless link; attach a
+        :class:`~repro.streaming.traces.BandwidthTrace` for a fading
+        channel (each round is then priced at its own bandwidth).
+    scheduler:
+        Link scheduling discipline (name or instance).
+    n_frames:
+        Frames streamed per client.
+    n_jobs:
+        Process-pool width for per-client encoding.
+    display:
+        Headset geometry shared by all clients.
+    seed:
+        Seed for the link-jitter stream.
+    controller:
+        Optional rate-control policy (name or
+        :class:`~repro.streaming.adaptive.RateController`).  When set,
+        every client starts on the rung matching its configured codec
+        and independently re-picks a rung each frame; the ``fixed``
+        controller reproduces the non-adaptive engine bit for bit.
+        Rounds are priced exactly as in the non-adaptive engine —
+        payloads offered together at the round start — so per-client
+        backlog informs the controllers and the stall metric, not the
+        scheduler (unlike
+        :func:`~repro.streaming.adaptive.simulate_adaptive_session`,
+        which queues a single stream behind its own backlog).
+    ladder:
+        Quality ladder for adaptive runs; defaults to
+        :meth:`~repro.codecs.ladder.QualityLadder.default`.  Only
+        valid with a controller.
+
+    Returns
+    -------
+    FleetReport
+        Per-client reports plus fleet aggregates (adaptive runs carry
+        per-client :class:`~repro.streaming.adaptive.AdaptiveStats`).
     """
     clients = tuple(clients)
     if not clients:
@@ -437,24 +623,85 @@ def simulate_fleet(
         raise ValueError(f"n_frames must be positive, got {n_frames}")
     if not isinstance(n_jobs, int) or n_jobs < 1:
         raise ValueError(f"n_jobs must be a positive integer, got {n_jobs!r}")
+    if controller is None and ladder is not None:
+        raise ValueError("ladder only applies when a controller is given")
     engine = get_scheduler(scheduler)
 
-    streams = _encode_streams(clients, display, n_frames, n_jobs)
+    # Rounds share one display clock; with mixed refresh rates the
+    # fastest client sets the interval (slower clients simply re-offer
+    # every round, as the pre-adaptive engine always did).
+    interval_s = 1.0 / max(client.target_fps for client in clients)
+
+    policy: RateController | None = None
+    adapters: list[AdaptationState] | None = None
+    rung_maps: list[tuple[int, ...]] = []
+    if controller is not None:
+        policy = get_controller(controller)
+        ladder = ladder if ladder is not None else QualityLadder.default()
+        start_rungs = [ladder.index_of(client.codec) for client in clients]
+        if isinstance(policy, FixedController):
+            # A pinned fleet only ever transmits one rung per client —
+            # skip encoding the rest of the ladder.
+            if policy.rung is None:
+                pinned = start_rungs
+            elif isinstance(policy.rung, str):
+                pinned = [ladder.index_of(policy.rung)] * len(clients)
+            else:
+                pinned = [int(policy.rung)] * len(clients)
+            rung_maps = [(rung,) for rung in pinned]
+            start_rungs = pinned
+        else:
+            rung_maps = [tuple(range(len(ladder)))] * len(clients)
+        # Budgets and deadlines are judged against each client's own
+        # refresh rate, even though rounds tick at the fleet interval.
+        adapters = [
+            AdaptationState(policy, ladder, start, 1.0 / client.target_fps)
+            for start, client in zip(start_rungs, clients)
+        ]
+        streams = _encode_streams(
+            clients, display, n_frames, n_jobs, ladder, rung_maps
+        )
+    else:
+        streams = _encode_streams(clients, display, n_frames, n_jobs)
 
     rng = np.random.default_rng(seed)
     weights = [client.weight for client in clients]
     timings: list[list[FrameTiming]] = [[] for _ in clients]
     for frame_index in range(n_frames):
-        payloads = [streams[ci][frame_index] for ci in range(len(clients))]
-        drains = engine.drain_times_s(payloads, weights, link)
+        round_start_s = frame_index * interval_s
+        rungs: list[int] = []
+        payloads: list[int] = []
+        for ci in range(len(clients)):
+            frame_bits = streams[ci][frame_index]
+            if adapters is None:
+                rungs.append(0)
+                payloads.append(frame_bits[0])
+                continue
+            chosen = adapters[ci].choose(
+                frame_index,
+                round_start_s,
+                frame_bits,
+                link.at(round_start_s) * 1e6,
+            )
+            local = rung_maps[ci].index(chosen) if chosen in rung_maps[ci] else 0
+            rungs.append(local)
+            payloads.append(frame_bits[local])
+        drains = engine.drain_times_s(payloads, weights, link, start_s=round_start_s)
         for ci, client in enumerate(clients):
+            overhead = link.overhead_time_s(rng)
+            rung_name = ""
+            if adapters is not None:
+                assert ladder is not None
+                rung_name = ladder[rung_maps[ci][rungs[ci]]].name
+                adapters[ci].record(payloads[ci], drains[ci])
             timings[ci].append(
                 FrameTiming(
                     frame_index=frame_index,
                     payload_bits=payloads[ci],
                     encode_time_s=client.encode_time_s,
                     serialization_time_s=drains[ci],
-                    transmit_time_s=drains[ci] + link.overhead_time_s(rng),
+                    transmit_time_s=drains[ci] + overhead,
+                    rung=rung_name,
                 )
             )
 
@@ -466,9 +713,14 @@ def simulate_fleet(
             name=client.name,
             scene=client.scene,
             weight=client.weight,
+            adaptive=adapters[ci].stats() if adapters is not None else None,
         )
         for ci, client in enumerate(clients)
     )
     return FleetReport(
-        clients=reports, link=link, scheduler=engine.name, n_frames=n_frames
+        clients=reports,
+        link=link,
+        scheduler=engine.name,
+        n_frames=n_frames,
+        controller=policy.name if policy is not None else None,
     )

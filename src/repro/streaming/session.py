@@ -64,13 +64,31 @@ def build_streaming_codec(encoder: str, perceptual_encoder: PerceptualEncoder | 
 
 @dataclass(frozen=True)
 class FrameTiming:
-    """Timing of one stereo frame through the remote pipeline."""
+    """Timing of one stereo frame through the remote pipeline.
+
+    Attributes
+    ----------
+    frame_index:
+        Zero-based frame number within the stream.
+    payload_bits:
+        Encoded size of the transmitted stereo pair.
+    encode_time_s:
+        Server-side encode time for the frame.
+    serialization_time_s:
+        Airtime of the payload (contended drain time inside a fleet).
+    transmit_time_s:
+        Serialization plus propagation/jitter overhead.
+    rung:
+        Quality-ladder rung this frame was transmitted at; empty for
+        non-adaptive streams.
+    """
 
     frame_index: int
     payload_bits: int
     encode_time_s: float
     serialization_time_s: float
     transmit_time_s: float
+    rung: str = ""
 
     @property
     def motion_to_photon_s(self) -> float:
@@ -92,18 +110,22 @@ class SessionReport:
 
     @property
     def mean_payload_bits(self) -> float:
+        """Mean encoded payload per stereo frame, in bits."""
         return float(np.mean([f.payload_bits for f in self.frames]))
 
     @property
     def mean_latency_s(self) -> float:
+        """Mean per-frame motion-to-photon contribution, in seconds."""
         return float(np.mean([f.motion_to_photon_s for f in self.frames]))
 
     @property
     def mean_encode_time_s(self) -> float:
+        """Mean server-side encode time per frame, in seconds."""
         return float(np.mean([f.encode_time_s for f in self.frames]))
 
     @property
     def mean_serialization_time_s(self) -> float:
+        """Mean link airtime per frame, in seconds."""
         return float(np.mean([f.serialization_time_s for f in self.frames]))
 
     @property
@@ -122,6 +144,7 @@ class SessionReport:
 
     @property
     def meets_target(self) -> bool:
+        """Whether the sustainable rate reaches the target refresh rate."""
         return self.sustainable_fps >= self.target_fps
 
 
@@ -137,6 +160,8 @@ def simulate_session(
     perceptual_encoder: PerceptualEncoder | None = None,
     encode_throughput_mpixels_s: float = 500.0,
     seed: int = 0,
+    controller=None,
+    ladder=None,
 ) -> SessionReport:
     """Stream ``n_frames`` stereo frames of a scene over a link.
 
@@ -144,7 +169,65 @@ def simulate_session(
     rate (a hardware CAU + BD block easily exceeds this; the value only
     matters relative to transmission).  Gaze is centered; per-eye
     sub-frames are encoded independently and share one transmission.
+
+    Parameters
+    ----------
+    scene:
+        The scene to render.
+    link:
+        The wireless link; attach a
+        :class:`~repro.streaming.traces.BandwidthTrace` for a fading
+        channel (each frame then serializes at its own send time).
+    encoder:
+        Streaming codec name.  With a ``controller`` this becomes the
+        *starting* rung on the ladder — so ``controller="fixed"``
+        reproduces the pinned-codec session.
+    n_frames, height, width, target_fps, display:
+        Stream length, per-eye resolution, refresh target, and headset
+        geometry.
+    perceptual_encoder:
+        Shared perceptual encoder; BD variants inherit its tile size.
+    encode_throughput_mpixels_s:
+        Server-side encoder rate in megapixels per second.
+    seed:
+        Seed for the link-jitter stream.
+    controller:
+        Optional rate-control policy (name or
+        :class:`~repro.streaming.adaptive.RateController`).  When set,
+        the session adapts its codec per frame over ``ladder`` and an
+        :class:`~repro.streaming.adaptive.AdaptiveSessionReport` is
+        returned instead.
+    ladder:
+        Optional :class:`~repro.codecs.ladder.QualityLadder` for the
+        adaptive path; defaults to the registry-derived ladder.
+
+    Returns
+    -------
+    SessionReport
+        Per-frame timings and aggregate rates (an
+        :class:`~repro.streaming.adaptive.AdaptiveSessionReport` when
+        ``controller`` is given).
     """
+    if controller is not None:
+        from .adaptive import simulate_adaptive_session  # import cycle guard
+
+        return simulate_adaptive_session(
+            scene,
+            link,
+            controller=controller,
+            ladder=ladder,
+            start_rung=encoder,
+            n_frames=n_frames,
+            height=height,
+            width=width,
+            target_fps=target_fps,
+            display=display,
+            perceptual_encoder=perceptual_encoder,
+            encode_throughput_mpixels_s=encode_throughput_mpixels_s,
+            seed=seed,
+        )
+    if ladder is not None:
+        raise ValueError("ladder only applies when a controller is given")
     if n_frames <= 0:
         raise ValueError(f"n_frames must be positive, got {n_frames}")
     if target_fps <= 0:
@@ -170,13 +253,15 @@ def simulate_session(
             for eye in (left, right)
         )
         encode_time = 2 * height * width / encode_rate_pixels_s
-        transmit_time = link.transmit_time_s(payload, rng=rng)
+        # On a traced link each frame serializes at its own send time.
+        start_s = index / target_fps
+        transmit_time = link.transmit_time_s(payload, rng=rng, start_s=start_s)
         frames.append(
             FrameTiming(
                 frame_index=index,
                 payload_bits=payload,
                 encode_time_s=encode_time,
-                serialization_time_s=link.serialization_time_s(payload),
+                serialization_time_s=link.serialization_time_s(payload, start_s=start_s),
                 transmit_time_s=transmit_time,
             )
         )

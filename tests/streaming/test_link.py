@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.streaming.link import WIFI6_LINK, WIGIG_LINK, WirelessLink
+from repro.streaming.link import (
+    HALF_NORMAL_MEAN_FACTOR,
+    WIFI6_LINK,
+    WIGIG_LINK,
+    WirelessLink,
+)
 
 
 class TestTiming:
@@ -31,6 +36,19 @@ class TestTiming:
         jittered = [link.transmit_time_s(1000, rng=rng) for _ in range(10)]
         assert all(j >= base for j in jittered)
         assert max(j - base for j in jittered) > 0
+
+    def test_jitter_is_half_normal(self):
+        """The jitter draw is ``abs(N(0, scale))`` — a half-normal —
+        so its mean is ``scale * sqrt(2 / pi)``, as documented."""
+        scale_ms = 10.0
+        link = WirelessLink(bandwidth_mbps=100.0, propagation_ms=5.0, jitter_ms=scale_ms)
+        rng = np.random.default_rng(42)
+        samples_ms = np.array(
+            [(link.overhead_time_s(rng) - 0.005) * 1e3 for _ in range(4000)]
+        )
+        assert np.all(samples_ms >= 0)  # one-sided by construction
+        expected_mean = scale_ms * HALF_NORMAL_MEAN_FACTOR
+        assert samples_ms.mean() == pytest.approx(expected_mean, rel=0.05)
 
     def test_sustainable_fps(self):
         link = WirelessLink(bandwidth_mbps=100.0)

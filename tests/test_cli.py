@@ -111,6 +111,43 @@ class TestFleet:
         assert main(["fleet", "--jobs", "0"]) == 2
         assert main(["fleet", "--bandwidth", "0"]) == 2
 
+    def test_fleet_adapts_over_a_trace(self, capsys):
+        code = main(
+            ["fleet", "--clients", "2", "--trace", "step:400:100:5",
+             "--controller", "throughput", "--codecs", "bd,raw",
+             "--height", "48", "--width", "48", "--frames", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "controller throughput" in out
+        assert "stall ms" in out and "quality" in out
+
+    def test_fleet_controller_without_trace(self, capsys):
+        code = main(
+            ["fleet", "--clients", "2", "--controller", "fixed",
+             "--codecs", "raw", "--height", "48", "--width", "48",
+             "--frames", "1"]
+        )
+        assert code == 0
+        assert "controller fixed" in capsys.readouterr().out
+
+    def test_fleet_rejects_bad_trace_specs(self, capsys):
+        assert main(["fleet", "--trace", "sine:1:2:3"]) == 2
+        assert "bad --trace" in capsys.readouterr().err
+        assert main(["fleet", "--trace", "step:400:100"]) == 2
+
+    def test_trace_and_bandwidth_are_exclusive(self, capsys):
+        code = main(
+            ["fleet", "--trace", "step:400:100:5", "--bandwidth", "100"]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_trace_flags_rejected_elsewhere(self, capsys):
+        assert main(["fig10", "--trace", "const:100"]) == 2
+        assert "only affect the fleet" in capsys.readouterr().err
+        assert main(["adaptive", "--controller", "fixed"]) == 2
+
 
 class TestAllIsolation:
     """`all` runs every experiment, isolating per-experiment failures."""
