@@ -9,7 +9,6 @@ similarity.  Composes with the perceptual adjustment, whose output is
 import numpy as np
 from conftest import run_once
 
-from repro.color.srgb import encode_srgb8
 from repro.core.pipeline import PerceptualEncoder
 from repro.encoding.bd import bd_breakdown
 from repro.encoding.bd_temporal import TemporalBDAccountant

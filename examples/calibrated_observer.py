@@ -49,7 +49,10 @@ def main() -> None:
         f"{average_result.breakdown.bits_per_pixel:.2f} bpp "
         f"({average_result.bandwidth_reduction_vs_bd:.1%} vs BD)"
     )
-    print(f"{'observer':>9} {'sens.':>6} {'p(detect)':>10} {'calibrated bpp':>15}")
+    print(
+        f"{'observer':>9} {'sens.':>6} {'p(detect)':>10} "
+        f"{'calibrated bpp':>15} {'p(after)':>9}"
+    )
 
     for profile in population:
         observer = SimulatedObserver(profile, params)
@@ -66,7 +69,7 @@ def main() -> None:
         )
         print(
             f"{profile.name:>9} {profile.sensitivity:6.2f} {p_detect:10.2f} "
-            f"{result.breakdown.bits_per_pixel:15.2f}"
+            f"{result.breakdown.bits_per_pixel:15.2f} {p_after:9.2f}"
         )
 
     print(

@@ -48,7 +48,6 @@ def fig2_demo() -> None:
     print("Fig. 2 — ellipsoid geometry at 5 vs 25 degrees")
     atlas = fig02_ellipsoids.run()
     print(atlas.table())
-    growth = atlas.volume_growth()
     h25 = atlas.mean_halfwidths(25.0)
     print(
         f"\nRGB anisotropy at 25 deg: B/G = {h25[2] / h25[1]:.1f}x, "

@@ -56,6 +56,7 @@ from .streaming.adaptive import CONTROLLER_CHOICES
 from .streaming.link import WIFI6_LINK, WirelessLink
 from .streaming.server import SCHEDULER_CHOICES
 from .streaming.traces import parse_trace_spec
+from .streaming.validation import PRICING_MODES
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -141,6 +142,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fleet only: per-client rate controller; clients then adapt "
              "their codec rung per frame (default: pinned codecs)",
     )
+    fleet_group.add_argument(
+        "--pricing", choices=PRICING_MODES, default=None,
+        help="fleet only: transport pricing — 'backlog' queues each "
+             "client's frames behind its own transmit backlog (default); "
+             "'round' replays the legacy round-priced engine",
+    )
     return parser
 
 
@@ -211,6 +218,7 @@ def main(argv: list[str] | None = None) -> int:
         "--bandwidth": args.bandwidth,
         "--trace": args.trace,
         "--controller": args.controller,
+        "--pricing": args.pricing,
     }
     flags_set = [flag for flag, value in fleet_values.items() if value is not None]
     if flags_set and "fleet" not in names:
@@ -258,6 +266,7 @@ def main(argv: list[str] | None = None) -> int:
         scheduler=args.scheduler if args.scheduler is not None else "fair",
         link=fleet_link,
         controller=args.controller,
+        pricing=args.pricing if args.pricing is not None else "backlog",
     )
 
     config = ExperimentConfig(

@@ -29,7 +29,12 @@ from .registry import (
 )
 
 from .batch import encode_batch, make_contexts
-from .ladder import DEFAULT_LADDER_SPEC, QualityLadder, QualityRung
+from .ladder import (
+    DEFAULT_LADDER_SPEC,
+    LadderEncodeCache,
+    QualityLadder,
+    QualityRung,
+)
 
 # Importing the wrappers registers every built-in codec.
 from .wrappers import (
@@ -55,6 +60,7 @@ __all__ = [
     "streaming_codec_names",
     "encode_batch",
     "make_contexts",
+    "LadderEncodeCache",
     "QualityLadder",
     "QualityRung",
     "DEFAULT_LADDER_SPEC",

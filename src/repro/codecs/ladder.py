@@ -37,6 +37,8 @@ __all__ = [
     "QualityLadder",
     "DEFAULT_LADDER_SPEC",
     "encode_stereo_bits",
+    "encode_frame_rungs",
+    "LadderEncodeCache",
 ]
 
 #: ``(codec name, nominal quality)`` pairs of the default ladder, in
@@ -256,3 +258,147 @@ def encode_stereo_bits(
     return tuple(
         sum(codec.encode(ctx).total_bits for ctx in ctxs) for codec in codecs
     )
+
+
+def encode_frame_rungs(
+    scene,
+    codecs: Sequence["Codec"],
+    height: int,
+    width: int,
+    display: "DisplayGeometry",
+    frame_index: int,
+    fixation: tuple[float, float] | None = None,
+) -> tuple[int, ...]:
+    """Render one stereo frame and encode it with each codec.
+
+    The one render → eccentricity-map → encode step shared by every
+    per-frame rung producer (:class:`LadderEncodeCache` here, the
+    engine's ``CodecStreamSource``), so fixation handling and context
+    sharing cannot drift between them.
+
+    Parameters
+    ----------
+    scene:
+        The scene to render.
+    codecs:
+        Codec instances, one per rung (order preserved).
+    height, width:
+        Per-eye render resolution.
+    display:
+        Headset geometry for the eccentricity map.
+    frame_index:
+        Animation frame to render.
+    fixation:
+        Normalized gaze point; ``None`` keeps the centered default
+        (the exact call a fixation-less session makes, so cached maps
+        are shared).
+
+    Returns
+    -------
+    tuple of int
+        Summed both-eye payload bits, one entry per codec.
+    """
+    eyes = scene.render_stereo(height, width, frame=frame_index)
+    if fixation is None:
+        eccentricity = display.eccentricity_map(height, width)
+    else:
+        eccentricity = display.eccentricity_map(height, width, fixation=fixation)
+    return encode_stereo_bits(codecs, eyes, eccentricity, display)
+
+
+class LadderEncodeCache:
+    """Memoized per-frame ladder payload sizes for one content setup.
+
+    A rate-control study sweeps many policies (and schedulers) over
+    *identical* content, and every sweep needs the same numbers: the
+    encoded size of each frame at each ladder rung.  This cache binds
+    one ``(scene, ladder, resolution, display)`` configuration, builds
+    the rung codecs once, and encodes each requested ``(frame,
+    fixation)`` at most once — so a three-controller sweep pays the
+    ladder-encode cost of a single run.
+
+    Only stateless rung codecs are cacheable: a stateful codec's
+    payload for frame *k* depends on the frames it saw before, so its
+    sizes cannot be reused across independently-controlled streams.
+
+    Parameters
+    ----------
+    scene:
+        The scene to render (a :class:`~repro.scenes.library.Scene`).
+    ladder:
+        The :class:`QualityLadder` whose rungs are encoded.
+    height, width:
+        Per-eye render resolution.
+    display:
+        Headset geometry for the eccentricity map.
+    perceptual_encoder:
+        Shared perceptual encoder forwarded to
+        :meth:`QualityRung.build`.
+
+    Attributes
+    ----------
+    encode_count:
+        How many unique ``(frame, fixation)`` keys were actually
+        rendered and encoded.
+    hits:
+        How many requests were answered from memory.
+    """
+
+    def __init__(
+        self,
+        scene,
+        ladder: QualityLadder,
+        height: int,
+        width: int,
+        display: "DisplayGeometry",
+        perceptual_encoder: "PerceptualEncoder | None" = None,
+    ):
+        codecs = [ladder.build_codec(i, perceptual_encoder) for i in range(len(ladder))]
+        stateful = [
+            ladder[i].name for i, codec in enumerate(codecs) if codec.stateful
+        ]
+        if stateful:
+            raise ValueError(
+                f"stateful rung codecs cannot be cached across sweeps: {stateful}"
+            )
+        self.scene = scene
+        self.ladder = ladder
+        self.height = height
+        self.width = width
+        self.display = display
+        self.encode_count = 0
+        self.hits = 0
+        self._codecs = codecs
+        self._bits: dict[tuple[int, tuple[float, float] | None], tuple[int, ...]] = {}
+
+    def rung_bits(
+        self, frame_index: int, fixation: tuple[float, float] | None = None
+    ) -> tuple[int, ...]:
+        """Payload bits of one frame at every rung, best rung first.
+
+        Parameters
+        ----------
+        frame_index:
+            Animation frame to render.
+        fixation:
+            Normalized gaze point; ``None`` keeps the centered default
+            (and matches what a fixation-less session encodes).
+
+        Returns
+        -------
+        tuple of int
+            Summed both-eye payload bits per rung, computed on first
+            request and replayed from memory afterwards.
+        """
+        key = (frame_index, fixation)
+        cached = self._bits.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        bits = encode_frame_rungs(
+            self.scene, self._codecs, self.height, self.width, self.display,
+            frame_index, fixation,
+        )
+        self._bits[key] = bits
+        self.encode_count += 1
+        return bits

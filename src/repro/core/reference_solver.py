@@ -93,7 +93,6 @@ def solve_tile_reference(
         raise ValueError(f"tile_rgb must be (pixels, 3), got {tile.shape}")
     if axes.shape != tile.shape:
         raise ValueError(f"semi_axes {axes.shape} must match tile {tile.shape}")
-    n_pixels = tile.shape[0]
 
     def constraint_values(flat_deltas):
         deltas = flat_deltas.reshape(tile.shape)

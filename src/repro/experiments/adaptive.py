@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..codecs.ladder import QualityLadder, encode_stereo_bits
+from ..codecs.ladder import LadderEncodeCache, QualityLadder
 from ..scenes.library import get_scene
 from ..streaming.adaptive import (
     AdaptiveSessionReport,
@@ -126,24 +126,21 @@ class AdaptiveResult:
         return "adaptive vs fixed: " + "; ".join(parts)
 
 
-def _measure_rung_bits(
-    config: ExperimentConfig, scene_name: str, ladder: QualityLadder
-) -> np.ndarray:
+def _measure_rung_bits(cache: LadderEncodeCache) -> np.ndarray:
     """Per-frame payload bits of each rung over the loop frames.
+
+    Fills the shared :class:`~repro.codecs.ladder.LadderEncodeCache`,
+    so the per-policy sweeps that follow replay these encodes instead
+    of re-paying them.
 
     Returns
     -------
     numpy.ndarray
         Shape ``(n_rungs, N_LOOP_FRAMES)``.
     """
-    scene = get_scene(scene_name)
-    eccentricity = config.display.eccentricity_map(config.height, config.width)
-    codecs = [ladder.build_codec(i) for i in range(len(ladder))]
-    bits = np.zeros((len(ladder), N_LOOP_FRAMES))
-    for index in range(N_LOOP_FRAMES):
-        eyes = scene.render_stereo(config.height, config.width, frame=index)
-        bits[:, index] = encode_stereo_bits(codecs, eyes, eccentricity, config.display)
-    return bits
+    return np.column_stack(
+        [cache.rung_bits(index) for index in range(N_LOOP_FRAMES)]
+    ).astype(float)
 
 
 def _calibrate_trace(bits: np.ndarray, target_fps: float) -> BandwidthTrace:
@@ -191,18 +188,17 @@ def run(config: ExperimentConfig | None = None, target_fps: float = 72.0) -> Ada
     scene_name = DEFAULT_SCENE if DEFAULT_SCENE in config.scene_names else config.scene_names[0]
     ladder = QualityLadder.default()
 
-    bits = _measure_rung_bits(config, scene_name, ladder)
+    scene = get_scene(scene_name)
+    # Every policy streams the identical content, so one shared encode
+    # cache serves both the calibration measurement and every sweep —
+    # the ladder is encoded once, not once per policy.
+    cache = LadderEncodeCache(
+        scene, ladder, config.height, config.width, config.display
+    )
+    bits = _measure_rung_bits(cache)
     trace = _calibrate_trace(bits, target_fps)
     link = WirelessLink.traced(trace, propagation_ms=3.0)
 
-    scene = get_scene(scene_name)
-    # Every policy streams the identical content, so the ladder table
-    # measured for calibration doubles as the precomputed rung streams
-    # — the ladder is encoded once, not once per policy.
-    rung_streams = [
-        tuple(int(bits[slot, index]) for slot in range(len(ladder)))
-        for index in range(N_LOOP_FRAMES)
-    ]
     session_kwargs = dict(
         ladder=ladder,
         n_frames=N_STREAM_FRAMES,
@@ -211,7 +207,8 @@ def run(config: ExperimentConfig | None = None, target_fps: float = 72.0) -> Ada
         target_fps=target_fps,
         display=config.display,
         seed=config.seed,
-        rung_streams=rung_streams,
+        encode_cache=cache,
+        loop_frames=N_LOOP_FRAMES,
     )
     reports: dict[str, AdaptiveSessionReport] = {}
     for index, rung in enumerate(ladder):

@@ -10,7 +10,7 @@ the scene generator, so shapes match the paper's full-resolution runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

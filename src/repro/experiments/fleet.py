@@ -154,6 +154,7 @@ def run_fleet(
     lenient_codecs: bool = False,
     controller: str | RateController | None = None,
     ladder: QualityLadder | None = None,
+    pricing: str = "backlog",
 ) -> FleetResult:
     """Simulate the fleet and compare solo vs contended frame rates.
 
@@ -167,7 +168,9 @@ def run_fleet(
     ``controller`` switches the fleet to adaptive rate control: every
     client starts on its cycled codec's rung and re-picks per frame
     from ``ladder`` (the CLI's ``--controller``/``--trace`` flags feed
-    this path).
+    this path).  ``pricing`` selects the engine's transport pricing
+    (``backlog`` per-stream queueing, or the legacy ``round``; the
+    CLI's ``--pricing`` flag feeds it).
     """
     config = config or ExperimentConfig()
     codecs = tuple(config.codec_names or DEFAULT_FLEET_CODECS)
@@ -193,6 +196,7 @@ def run_fleet(
         seed=config.seed,
         controller=controller,
         ladder=ladder,
+        pricing=pricing,
     )
     solo = {
         client.name: solo_sustainable_fps(client, link)

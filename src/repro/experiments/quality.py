@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..baselines.foveated import FoveationConfig, foveate_frame, foveated_bd_bits
+from ..baselines.foveated import FoveationConfig, foveated_bd_bits
 from ..color.srgb import encode_srgb8
 from ..encoding.bd import bd_breakdown
 from ..encoding.tiling import tile_frame

@@ -30,7 +30,7 @@ import numpy as np
 
 from ..color.srgb import linear_to_srgb, srgb_to_linear
 from .noise import fractal_noise, value_noise
-from .primitives import draw_box, draw_disk, mix_noise, modulate, solid, vertical_gradient
+from .primitives import draw_box, draw_disk, mix_noise, modulate, vertical_gradient
 
 __all__ = ["Scene", "SCENE_NAMES", "get_scene", "render_scene", "all_scenes"]
 
@@ -65,7 +65,6 @@ def _render_fortnite(height: int, width: int, rng: np.random.Generator, phase: i
     # Rolling green terrain.
     hills = value_noise((1, width), cell=max(8, width // 10), rng=rng)[0]
     terrain_top = horizon + (hills * height * 0.08).astype(np.int64)
-    cols = np.arange(width)
     rows = np.arange(height)[:, None]
     terrain_mask = rows >= terrain_top[None, :]
     green = np.array([0.18, 0.55, 0.16])

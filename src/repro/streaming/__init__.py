@@ -2,10 +2,14 @@
 
 Layers, bottom up: :mod:`~repro.streaming.traces` models time-varying
 link capacity, :mod:`~repro.streaming.link` the wireless hop,
+:mod:`~repro.streaming.engine` the discrete-event kernel every
+simulator dispatches through (shared with
+:mod:`~repro.streaming.validation` for parameter guards),
 :mod:`~repro.streaming.session` a single client's stream,
 :mod:`~repro.streaming.adaptive` per-frame rate control, and
 :mod:`~repro.streaming.server` a fleet of clients contending for one
-link.
+link.  A solo session is a fleet of one: all three public simulators
+are thin wrappers over the same :class:`StreamingEngine`.
 """
 
 from .adaptive import (
@@ -20,6 +24,19 @@ from .adaptive import (
     ThroughputController,
     get_controller,
     simulate_adaptive_session,
+)
+from .engine import (
+    FRAME_READY,
+    PRICING_MODES,
+    TRANSMIT_DONE,
+    TRANSMIT_START,
+    CodecStreamSource,
+    Event,
+    FrameSource,
+    PrecomputedSource,
+    StreamingEngine,
+    StreamOutcome,
+    StreamSpec,
 )
 from .link import WIFI6_LINK, WIGIG_LINK, WirelessLink
 from .server import (
@@ -44,6 +61,17 @@ from .session import (
 from .traces import TRACE_SPEC_KINDS, BandwidthTrace, parse_trace_spec
 
 __all__ = [
+    "FRAME_READY",
+    "TRANSMIT_START",
+    "TRANSMIT_DONE",
+    "PRICING_MODES",
+    "Event",
+    "FrameSource",
+    "PrecomputedSource",
+    "CodecStreamSource",
+    "StreamSpec",
+    "StreamOutcome",
+    "StreamingEngine",
     "WIFI6_LINK",
     "WIGIG_LINK",
     "WirelessLink",

@@ -12,16 +12,16 @@ that loop at frame granularity:
   pinned-codec behavior), ``buffer`` (queue-occupancy driven), and
   ``throughput`` (EWMA of measured goodput, clamped by the MAC's
   reported instantaneous PHY rate);
-* an :class:`AdaptationState` carries the per-client feedback loop —
-  transmit backlog, goodput EWMA, rung dwell times, stalls — and is
-  shared by the single-session and fleet simulators, so both use the
-  same controller inputs and report the same metrics.  (Transport
-  pricing still differs by design: a single session queues each
-  payload behind its own backlog, while the fleet — like the
-  pre-adaptive engine it reproduces bit for bit under ``fixed`` —
-  prices every round's payloads as offered together at the round
-  start, with backlog feeding the controllers and the stall metric
-  rather than the scheduler.);
+* an :class:`~repro.streaming.engine.AdaptationState` carries the
+  per-client feedback loop — transmit backlog, goodput EWMA, rung
+  dwell times, stalls — and is shared by the single-session and fleet
+  simulators (both dispatch through
+  :class:`~repro.streaming.engine.StreamingEngine`), so both use the
+  same controller inputs and report the same metrics.  Under the
+  default ``pricing="backlog"`` the fleet now queues each client's
+  payloads behind that client's own backlog exactly as the solo
+  session always did; the legacy round-priced fleet semantics remain
+  available as ``pricing="round"``;
 * :func:`simulate_adaptive_session` streams one client over a (usually
   time-varying) link and reports rung switches, time-in-rung, stall
   time, and delivered perceptual quality on top of the usual
@@ -39,14 +39,21 @@ import abc
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
-
-from ..codecs.ladder import QualityLadder, encode_stereo_bits
+from ..codecs.ladder import LadderEncodeCache, QualityLadder, encode_stereo_bits
 from ..core.pipeline import PerceptualEncoder
 from ..scenes.display import QUEST2_DISPLAY, DisplayGeometry
 from ..scenes.library import Scene
+from .engine import (
+    AdaptationState,
+    AdaptiveStats,
+    ControllerContext,
+    PrecomputedSource,
+    StreamingEngine,
+    StreamSpec,
+)
 from .link import WirelessLink
-from .session import FrameTiming, SessionReport
+from .session import SessionReport
+from .validation import validate_stream_timing
 
 __all__ = [
     "ControllerContext",
@@ -61,48 +68,6 @@ __all__ = [
     "AdaptiveSessionReport",
     "simulate_adaptive_session",
 ]
-
-
-@dataclass(frozen=True)
-class ControllerContext:
-    """Everything a rate controller may look at when picking a rung.
-
-    Attributes
-    ----------
-    frame_index:
-        Zero-based index of the frame about to be transmitted.
-    time_s:
-        Session time at the start of this frame interval.
-    interval_s:
-        Frame interval (``1 / target_fps``) in seconds.
-    rung_bits:
-        This frame's encoded payload per ladder rung, best rung first —
-        the server encodes the whole ladder, so these are exact sizes,
-        not estimates.
-    backlog_s:
-        Transmit-queue occupancy in seconds: how far behind the
-        display clock the client's transmissions are running.
-    goodput_bps:
-        EWMA of measured delivered goodput in bits/second, or ``None``
-        before the first frame completes.
-    link_bps:
-        The MAC's reported instantaneous PHY rate in bits/second — the
-        cross-layer hint real Wi-Fi rate adaptation exposes.  Under
-        contention the achievable share is lower; ``goodput_bps``
-        captures that.
-    current_rung:
-        The rung index used for the previous frame (or the starting
-        rung on frame 0).
-    """
-
-    frame_index: int
-    time_s: float
-    interval_s: float
-    rung_bits: tuple[int, ...]
-    backlog_s: float
-    goodput_bps: float | None
-    link_bps: float
-    current_rung: int
 
 
 class RateController(abc.ABC):
@@ -293,183 +258,6 @@ def get_controller(controller: str | RateController, **kwargs) -> RateController
 
 
 @dataclass(frozen=True)
-class AdaptiveStats:
-    """Adaptation outcome of one client's stream.
-
-    Attributes
-    ----------
-    controller:
-        Name of the policy that drove the stream.
-    rungs:
-        Rung name transmitted for each frame, in order.
-    rung_switches:
-        How many frames used a different rung than their predecessor.
-    time_in_rung:
-        Display time (seconds) attributed to each rung name.
-    stall_time_s:
-        Total time playback fell *further* behind the display clock —
-        the rebuffering metric of the streaming literature at frame
-        granularity.  Counted as transmit-backlog growth, so a
-        constant pipeline delay is charged once, not every frame.
-    mean_quality:
-        Mean of the transmitted rungs' nominal quality scores.
-    """
-
-    controller: str
-    rungs: tuple[str, ...]
-    rung_switches: int
-    time_in_rung: dict[str, float]
-    stall_time_s: float
-    mean_quality: float
-
-
-class AdaptationState:
-    """Per-client feedback loop shared by the session and fleet paths.
-
-    Owns everything the controller reads (backlog, goodput EWMA,
-    current rung) and everything the reports show (switch counts, rung
-    dwell times, stall time, delivered quality).  The simulators drive
-    it with two calls per frame: :meth:`choose` before transmitting,
-    :meth:`record` once the scheduler has priced the transmission.
-
-    Parameters
-    ----------
-    controller:
-        The (stateless) policy instance.
-    ladder:
-        The quality ladder rungs are drawn from.
-    start_rung:
-        Rung index in effect before the first frame.
-    interval_s:
-        Frame interval (``1 / target_fps``) in seconds.
-    """
-
-    def __init__(
-        self,
-        controller: RateController,
-        ladder: QualityLadder,
-        start_rung: int,
-        interval_s: float,
-    ):
-        if not 0 <= start_rung < len(ladder):
-            raise ValueError(
-                f"start_rung {start_rung} outside ladder of {len(ladder)} rungs"
-            )
-        if interval_s <= 0:
-            raise ValueError(f"interval_s must be positive, got {interval_s}")
-        self.controller = controller
-        self.ladder = ladder
-        self.interval_s = interval_s
-        self.rung = start_rung
-        self.backlog_s = 0.0
-        self.goodput_bps: float | None = None
-        self.rung_names: list[str] = []
-        self.rung_switches = 0
-        self.time_in_rung: dict[str, float] = {}
-        self.stall_time_s = 0.0
-        self._quality_sum = 0.0
-
-    def choose(
-        self,
-        frame_index: int,
-        time_s: float,
-        rung_bits: tuple[int, ...],
-        link_bps: float,
-    ) -> int:
-        """Pick (and commit to) the rung for this frame.
-
-        Parameters
-        ----------
-        frame_index:
-            Zero-based frame number.
-        time_s:
-            Session time at the interval start.
-        rung_bits:
-            Exact encoded size of this frame at every rung.
-        link_bps:
-            Instantaneous PHY rate at ``time_s`` in bits/second.
-
-        Returns
-        -------
-        int
-            The chosen rung index (clamped into the ladder).
-        """
-        ctx = ControllerContext(
-            frame_index=frame_index,
-            time_s=time_s,
-            interval_s=self.interval_s,
-            rung_bits=tuple(rung_bits),
-            backlog_s=self.backlog_s,
-            goodput_bps=self.goodput_bps,
-            link_bps=link_bps,
-            current_rung=self.rung,
-        )
-        chosen = int(self.controller.select_rung(self.ladder, ctx))
-        chosen = max(0, min(chosen, len(self.ladder) - 1))
-        if self.rung_names and chosen != self.rung:
-            self.rung_switches += 1
-        self.rung = chosen
-        return chosen
-
-    def record(self, payload_bits: int, drain_s: float) -> None:
-        """Fold one transmitted frame's timing back into the loop.
-
-        Updates the goodput EWMA with this frame's delivered rate, adds
-        any deadline overrun to the stall total, and rolls the backlog
-        forward: a frame whose transmission (queued behind the backlog)
-        completes after the next display refresh leaves the excess
-        queued.
-
-        Stall is a *throughput* metric: it accrues only while the
-        transmit backlog is **growing** — each frame contributes how
-        much further behind the display clock its transmission left
-        the stream, so a persistent one-interval pipeline delay is
-        charged once, not once per frame.  Fixed propagation and
-        jitter overhead pipeline across frames — they shift latency,
-        not sustainable rate — so they are excluded too, mirroring the
-        serialization-vs-encode bound of
-        :attr:`~repro.streaming.session.SessionReport.sustainable_fps`.
-
-        Parameters
-        ----------
-        payload_bits:
-            Bits actually transmitted (the chosen rung's size).
-        drain_s:
-            Scheduler-assigned time for this payload to leave the air
-            (contended time under a fleet scheduler).
-        """
-        rung = self.ladder[self.rung]
-        self.rung_names.append(rung.name)
-        self._quality_sum += rung.quality
-        self.time_in_rung[rung.name] = (
-            self.time_in_rung.get(rung.name, 0.0) + self.interval_s
-        )
-        new_backlog_s = max(0.0, self.backlog_s + drain_s - self.interval_s)
-        self.stall_time_s += max(0.0, new_backlog_s - self.backlog_s)
-        if drain_s > 0 and payload_bits > 0:
-            sample = payload_bits / drain_s
-            if self.goodput_bps is None:
-                self.goodput_bps = sample
-            else:
-                self.goodput_bps += self.controller.ewma_alpha * (
-                    sample - self.goodput_bps
-                )
-        self.backlog_s = new_backlog_s
-
-    def stats(self) -> AdaptiveStats:
-        """Freeze the accumulated telemetry into an :class:`AdaptiveStats`."""
-        n_frames = len(self.rung_names)
-        return AdaptiveStats(
-            controller=self.controller.name,
-            rungs=tuple(self.rung_names),
-            rung_switches=self.rung_switches,
-            time_in_rung=dict(self.time_in_rung),
-            stall_time_s=self.stall_time_s,
-            mean_quality=self._quality_sum / n_frames if n_frames else 0.0,
-        )
-
-
-@dataclass(frozen=True)
 class AdaptiveSessionReport(SessionReport):
     """A :class:`~repro.streaming.session.SessionReport` plus adaptation.
 
@@ -498,6 +286,7 @@ def simulate_adaptive_session(
     start_rung: str | int | None = None,
     loop_frames: int | None = None,
     rung_streams: Sequence[tuple[int, ...]] | None = None,
+    encode_cache: LadderEncodeCache | None = None,
 ) -> AdaptiveSessionReport:
     """Stream one client with per-frame rate control over a link.
 
@@ -548,22 +337,44 @@ def simulate_adaptive_session(
         shorter streams cycle like ``loop_frames``.  Callers sweeping
         several policies over identical content use this to pay the
         ladder-encode cost once.
+    encode_cache:
+        Shared :class:`~repro.codecs.ladder.LadderEncodeCache` for the
+        session's scene/ladder/resolution.  Frames are encoded through
+        the cache (and therefore at most once across every controller
+        and scheduler sweep sharing it).  Mutually exclusive with
+        ``rung_streams``; ``ladder`` defaults to the cache's ladder and
+        must match it when given.
 
     Returns
     -------
     AdaptiveSessionReport
         Per-frame timings plus :class:`AdaptiveStats`.
     """
-    if n_frames <= 0:
-        raise ValueError(f"n_frames must be positive, got {n_frames}")
-    if target_fps <= 0:
-        raise ValueError(f"target_fps must be positive, got {target_fps}")
-    if encode_throughput_mpixels_s <= 0:
-        raise ValueError("encode_throughput_mpixels_s must be positive")
+    validate_stream_timing(
+        n_frames=n_frames,
+        target_fps=target_fps,
+        encode_throughput_mpixels_s=encode_throughput_mpixels_s,
+    )
     if loop_frames is not None and loop_frames <= 0:
         raise ValueError(f"loop_frames must be positive, got {loop_frames}")
+    if encode_cache is not None and rung_streams is not None:
+        raise ValueError("encode_cache and rung_streams are mutually exclusive")
+    if encode_cache is not None:
+        if ladder is None:
+            ladder = encode_cache.ladder
+        elif ladder is not encode_cache.ladder:
+            raise ValueError("ladder must match the encode_cache's ladder")
+        if (
+            encode_cache.scene is not scene
+            or (encode_cache.height, encode_cache.width) != (height, width)
+            or encode_cache.display != display
+        ):
+            raise ValueError(
+                "encode_cache was built for a different scene, resolution, "
+                "or display than this session"
+            )
 
-    engine = get_controller(controller)
+    policy = get_controller(controller)
     ladder = ladder if ladder is not None else QualityLadder.default()
     interval_s = 1.0 / target_fps
     if start_rung is None:
@@ -572,12 +383,9 @@ def simulate_adaptive_session(
         initial = ladder.index_of(start_rung)
     else:
         initial = int(start_rung)
-    state = AdaptationState(engine, ladder, initial, interval_s)
+    state = AdaptationState(policy, ladder, initial, interval_s)
 
-    rng = np.random.default_rng(seed)
-    encode_rate_pixels_s = encode_throughput_mpixels_s * 1e6
-    encode_time = 2 * height * width / encode_rate_pixels_s
-
+    n_unique = min(n_frames, loop_frames) if loop_frames is not None else n_frames
     if rung_streams is not None:
         rung_streams = [tuple(frame_bits) for frame_bits in rung_streams]
         if not rung_streams:
@@ -587,7 +395,10 @@ def simulate_adaptive_session(
                 f"rung_streams entries must have one size per rung "
                 f"({len(ladder)} rungs)"
             )
-        n_unique = len(rung_streams)
+    elif encode_cache is not None:
+        # The shared cache pays the ladder-encode cost at most once per
+        # unique frame across every sweep that reuses it.
+        rung_streams = [encode_cache.rung_bits(index) for index in range(n_unique)]
     else:
         # Encode the whole ladder for each unique frame; long sessions
         # can cycle a short scene loop instead of paying encode cost
@@ -597,7 +408,6 @@ def simulate_adaptive_session(
         )
         codecs = [ladder.build_codec(i, encoder) for i in range(len(ladder))]
         eccentricity = display.eccentricity_map(height, width)
-        n_unique = min(n_frames, loop_frames) if loop_frames is not None else n_frames
         rung_streams = []
         for index in range(n_unique):
             eyes = scene.render_stereo(height, width, frame=index)
@@ -605,35 +415,22 @@ def simulate_adaptive_session(
                 encode_stereo_bits(codecs, eyes, eccentricity, display)
             )
 
-    frames = []
-    for index in range(n_frames):
-        time_s = index * interval_s
-        rung_bits = rung_streams[index % n_unique]
-        rung = state.choose(index, time_s, rung_bits, link.at(time_s) * 1e6)
-        payload = rung_bits[rung]
-        # The payload queues behind the existing backlog before it can
-        # start serializing; the wait is part of this frame's latency
-        # (transmit time) but not of its airtime (serialization).
-        queue_wait_s = state.backlog_s
-        send_start_s = time_s + queue_wait_s
-        serialization = link.serialization_time_s(payload, start_s=send_start_s)
-        overhead = link.overhead_time_s(rng)
-        frames.append(
-            FrameTiming(
-                frame_index=index,
-                payload_bits=payload,
-                encode_time_s=encode_time,
-                serialization_time_s=serialization,
-                transmit_time_s=queue_wait_s + serialization + overhead,
-                rung=ladder[rung].name,
-            )
-        )
-        state.record(payload, serialization)
-
-    return AdaptiveSessionReport(
-        encoder=f"adaptive:{engine.name}",
-        frames=frames,
+    # One adaptive stream through the shared kernel, under the same
+    # backlog pricing the fleet uses: payloads queue behind the
+    # stream's own transmit backlog.
+    spec = StreamSpec(
+        name="session",
+        source=PrecomputedSource(rung_streams),
+        n_frames=n_frames,
         target_fps=target_fps,
-        adaptive=state.stats(),
+        encode_time_s=2 * height * width / (encode_throughput_mpixels_s * 1e6),
+        adaptation=state,
+    )
+    outcome = StreamingEngine(link, pricing="backlog").run([spec], seed=seed)[0]
+    return AdaptiveSessionReport(
+        encoder=f"adaptive:{policy.name}",
+        frames=outcome.frames,
+        target_fps=target_fps,
+        adaptive=outcome.adaptive,
         ladder=ladder.names,
     )

@@ -1,0 +1,1140 @@
+"""One discrete-event streaming kernel behind every simulator.
+
+The repository grew three hand-rolled frame loops — the solo session,
+the adaptive session, and the multi-client fleet — each re-implementing
+render → encode → schedule → transmit with subtly different timing
+semantics.  This module replaces all three with a single
+ns-3-style discrete-event core:
+
+* an **event queue** keyed on simulated time carries three event
+  kinds — :data:`FRAME_READY` (a stream's next stereo frame finished
+  encoding), :data:`TRANSMIT_START` (its payload reaches the air), and
+  :data:`TRANSMIT_DONE` (its last bit drains);
+* **pluggable components**: a :class:`FrameSource` produces per-frame
+  payload sizes (rendering + encoding, possibly through a
+  :class:`~repro.codecs.ladder.LadderEncodeCache`), a rate controller
+  (:mod:`repro.streaming.adaptive`) picks each frame's quality-ladder
+  rung, a :class:`LinkScheduler` divides the air among concurrent
+  transmissions, and a (possibly traced)
+  :class:`~repro.streaming.link.WirelessLink` prices them;
+* two **transport pricing** disciplines: ``"backlog"`` gives every
+  stream its own display clock and queues payloads behind the stream's
+  transmit backlog, resolving cross-stream contention event by event in
+  the fluid limit; ``"round"`` replays the legacy fleet semantics —
+  every round's payloads offered together at the round start — for
+  continuity with previously published tables (bit for bit up to the
+  per-stream jitter-RNG change below; exactly so on jitter-free
+  links).
+
+The public simulators are now thin wrappers: a solo session is a fleet
+of one, a pinned codec is a non-adaptive stream, and the fleet simply
+runs many streams.  Per-stream jitter RNGs are spawned from one
+``numpy.random.SeedSequence``, so adding a client never perturbs
+another client's jitter draws, and per-stream clocks admit staggered
+start times and mixed refresh rates without a fastest-client hack.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from ..codecs.ladder import encode_frame_rungs
+from .link import WirelessLink
+from .validation import PRICING_MODES, validate_pricing, validate_stream_timing
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..codecs.ladder import QualityLadder
+    from ..scenes.display import DisplayGeometry
+    from ..scenes.library import Scene
+
+__all__ = [
+    "FRAME_READY",
+    "TRANSMIT_START",
+    "TRANSMIT_DONE",
+    "Event",
+    "FrameTiming",
+    "LinkScheduler",
+    "FairShareScheduler",
+    "PriorityScheduler",
+    "SCHEDULER_CHOICES",
+    "get_scheduler",
+    "ControllerContext",
+    "AdaptiveStats",
+    "AdaptationState",
+    "FrameSource",
+    "PrecomputedSource",
+    "CodecStreamSource",
+    "StreamSpec",
+    "StreamOutcome",
+    "StreamingEngine",
+    "PRICING_MODES",
+]
+
+#: Payload remainders below this many bits count as fully drained
+#: (guards the fluid scheduler against float round-off).
+_DRAIN_EPSILON_BITS = 1e-6
+
+# -- events -------------------------------------------------------------
+
+#: A stream's next stereo frame finished encoding and wants air time.
+FRAME_READY = "frame-ready"
+#: A queued payload reaches the air and starts occupying the link.
+TRANSMIT_START = "transmit-start"
+#: A payload's last bit leaves the air.
+TRANSMIT_DONE = "transmit-done"
+
+#: Tie-break order for events at the same simulated time: completions
+#: land first (freeing the link and recording feedback), then newly
+#: ready frames (controllers see that feedback), then queued payloads
+#: reaching the air.
+_EVENT_ORDER = {TRANSMIT_DONE: 0, FRAME_READY: 1, TRANSMIT_START: 2}
+
+
+@dataclass(frozen=True)
+class Event:
+    """One kernel event, as recorded in the engine's event log.
+
+    Attributes
+    ----------
+    time_s:
+        Simulated time the event fires.
+    kind:
+        :data:`FRAME_READY`, :data:`TRANSMIT_START`, or
+        :data:`TRANSMIT_DONE`.
+    stream:
+        Name of the stream the event belongs to.
+    frame_index:
+        Zero-based frame number within that stream.
+    """
+
+    time_s: float
+    kind: str
+    stream: str
+    frame_index: int
+
+
+# -- per-frame timing ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FrameTiming:
+    """Timing of one stereo frame through the remote pipeline.
+
+    Attributes
+    ----------
+    frame_index:
+        Zero-based frame number within the stream.
+    payload_bits:
+        Encoded size of the transmitted stereo pair.
+    encode_time_s:
+        Server-side encode time for the frame.
+    serialization_time_s:
+        Airtime of the payload (contended drain time inside a fleet).
+    transmit_time_s:
+        Serialization plus queue wait and propagation/jitter overhead.
+    rung:
+        Quality-ladder rung this frame was transmitted at; empty for
+        non-adaptive streams.
+    """
+
+    frame_index: int
+    payload_bits: int
+    encode_time_s: float
+    serialization_time_s: float
+    transmit_time_s: float
+    rung: str = ""
+
+    @property
+    def motion_to_photon_s(self) -> float:
+        """Render-to-display latency contribution of encode + link.
+
+        (Server render time and display scan-out are common to all
+        encoders and excluded, as the comparison is between encoders.)
+        """
+        return self.encode_time_s + self.transmit_time_s
+
+
+# -- link schedulers ----------------------------------------------------
+
+
+class LinkScheduler(abc.ABC):
+    """Divides one link's capacity among simultaneous frame payloads."""
+
+    #: Registry name (the CLI's ``--scheduler`` spelling).
+    name: str = ""
+
+    @abc.abstractmethod
+    def drain_times_s(
+        self,
+        payload_bits: Sequence[float],
+        weights: Sequence[float],
+        link: WirelessLink,
+        start_s: float = 0.0,
+    ) -> list[float]:
+        """Completion time of each payload, offered at ``start_s``.
+
+        Returns one drain time per payload: how long after the round
+        starts that client's last bit leaves the air.  Zero-size
+        payloads never occupy the link.  ``start_s`` anchors the round
+        on the session clock so traced links price each round at its
+        own bandwidth; constant links ignore it.  (This is the batch
+        entry point ``pricing="round"`` replays; the event kernel uses
+        :meth:`instantaneous_shares` instead.)
+        """
+
+    def instantaneous_shares(self, weights: Sequence[float]) -> list[float]:
+        """Fraction of link capacity each backlogged flow gets *now*.
+
+        The event kernel calls this whenever the set of in-flight
+        transmissions changes and lets each flow drain at its share of
+        the (possibly traced) link rate until the next event.  The
+        default is generalized processor sharing — capacity in
+        proportion to weight — which makes any subclass work under
+        ``pricing="backlog"``; disciplines with different preemption
+        rules (e.g. strict priority) override it.
+
+        Parameters
+        ----------
+        weights:
+            Positive scheduling weights of the currently backlogged
+            flows, in stream order.
+
+        Returns
+        -------
+        list of float
+            One share per flow, non-negative, summing to at most 1.
+        """
+        if any(w <= 0 for w in weights):
+            raise ValueError("scheduler weights must be positive")
+        total = sum(weights)
+        return [w / total for w in weights]
+
+    @staticmethod
+    def _validate(payload_bits: Sequence[float], weights: Sequence[float]) -> None:
+        """Reject mismatched lengths, negative payloads, bad weights."""
+        if len(payload_bits) != len(weights):
+            raise ValueError(
+                f"{len(payload_bits)} payloads but {len(weights)} weights"
+            )
+        if any(p < 0 for p in payload_bits):
+            raise ValueError("payloads must be >= 0 bits")
+        if any(w <= 0 for w in weights):
+            raise ValueError("scheduler weights must be positive")
+
+
+class FairShareScheduler(LinkScheduler):
+    """Weighted fair queueing in the fluid (GPS) limit.
+
+    Every backlogged client receives capacity in proportion to its
+    weight; when one drains, its share redistributes among the rest.
+    Equal weights give the classic per-client ``1/n`` fair share.  In
+    round pricing on a traced link the rate is re-sampled at the start
+    of each fluid step (a drain event), a piecewise approximation that
+    is exact whenever trace boundaries do not fall inside a step; the
+    event kernel's backlog pricing integrates the trace exactly
+    instead.
+    """
+
+    name = "fair"
+
+    def drain_times_s(self, payload_bits, weights, link, start_s=0.0):
+        """See :meth:`LinkScheduler.drain_times_s`."""
+        self._validate(payload_bits, weights)
+        remaining = [float(bits) for bits in payload_bits]
+        finish = [0.0] * len(remaining)
+        active = [i for i, bits in enumerate(remaining) if bits > 0]
+        now = 0.0
+        while active:
+            bandwidth = link.at(start_s + now) * 1e6
+            total_weight = sum(weights[i] for i in active)
+            rates = {i: bandwidth * weights[i] / total_weight for i in active}
+            step = min(remaining[i] / rates[i] for i in active)
+            now += step
+            still_active = []
+            for i in active:
+                remaining[i] -= rates[i] * step
+                if remaining[i] <= _DRAIN_EPSILON_BITS:
+                    finish[i] = now
+                else:
+                    still_active.append(i)
+            active = still_active
+        return finish
+
+
+class PriorityScheduler(LinkScheduler):
+    """Strict priority: heavier clients transmit first, then the rest.
+
+    Ties break in client order.  The heaviest client sees a dedicated
+    link — useful to model one latency-critical headset among best-
+    effort peers.  On a traced link each transmission serializes at its
+    own (queued) start time, so fades land on whoever is on the air.
+    """
+
+    name = "priority"
+
+    def drain_times_s(self, payload_bits, weights, link, start_s=0.0):
+        """See :meth:`LinkScheduler.drain_times_s`."""
+        self._validate(payload_bits, weights)
+        order = sorted(
+            range(len(payload_bits)), key=lambda i: (-weights[i], i)
+        )
+        finish = [0.0] * len(payload_bits)
+        now = 0.0
+        for i in order:
+            if payload_bits[i] > 0:
+                now += link.serialization_time_s(
+                    payload_bits[i], start_s=start_s + now
+                )
+                finish[i] = now
+        return finish
+
+    def instantaneous_shares(self, weights):
+        """All capacity to the heaviest backlogged flow (ties: first)."""
+        if any(w <= 0 for w in weights):
+            raise ValueError("scheduler weights must be positive")
+        top = min(range(len(weights)), key=lambda i: (-weights[i], i))
+        return [1.0 if i == top else 0.0 for i in range(len(weights))]
+
+
+_SCHEDULERS = {cls.name: cls for cls in (FairShareScheduler, PriorityScheduler)}
+
+#: Valid ``--scheduler`` spellings.
+SCHEDULER_CHOICES = tuple(_SCHEDULERS)
+
+
+def get_scheduler(scheduler: str | LinkScheduler) -> LinkScheduler:
+    """Resolve a scheduler name (or pass an instance through).
+
+    Parameters
+    ----------
+    scheduler:
+        A name from :data:`SCHEDULER_CHOICES` or a ready
+        :class:`LinkScheduler` instance.
+
+    Raises
+    ------
+    ValueError
+        For unknown names.
+    """
+    if isinstance(scheduler, LinkScheduler):
+        return scheduler
+    try:
+        return _SCHEDULERS[scheduler]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; expected one of {SCHEDULER_CHOICES}"
+        ) from None
+
+
+# -- adaptation state ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ControllerContext:
+    """Everything a rate controller may look at when picking a rung.
+
+    Attributes
+    ----------
+    frame_index:
+        Zero-based index of the frame about to be transmitted.
+    time_s:
+        Session time at the start of this frame interval.
+    interval_s:
+        Frame interval (``1 / target_fps``) in seconds.
+    rung_bits:
+        This frame's encoded payload per ladder rung, best rung first —
+        the server encodes the whole ladder, so these are exact sizes,
+        not estimates.
+    backlog_s:
+        Transmit-queue occupancy in seconds: how far behind the
+        display clock the client's transmissions are running.
+    goodput_bps:
+        EWMA of measured delivered goodput in bits/second, or ``None``
+        before the first frame completes.
+    link_bps:
+        The MAC's reported instantaneous PHY rate in bits/second — the
+        cross-layer hint real Wi-Fi rate adaptation exposes.  Under
+        contention the achievable share is lower; ``goodput_bps``
+        captures that.
+    current_rung:
+        The rung index used for the previous frame (or the starting
+        rung on frame 0).
+    """
+
+    frame_index: int
+    time_s: float
+    interval_s: float
+    rung_bits: tuple[int, ...]
+    backlog_s: float
+    goodput_bps: float | None
+    link_bps: float
+    current_rung: int
+
+
+@dataclass(frozen=True)
+class AdaptiveStats:
+    """Adaptation outcome of one client's stream.
+
+    Attributes
+    ----------
+    controller:
+        Name of the policy that drove the stream.
+    rungs:
+        Rung name transmitted for each frame, in order.
+    rung_switches:
+        How many frames used a different rung than their predecessor.
+    time_in_rung:
+        Display time (seconds) attributed to each rung name.
+    stall_time_s:
+        Total time playback fell *further* behind the display clock —
+        the rebuffering metric of the streaming literature at frame
+        granularity.  Counted as transmit-backlog growth, so a
+        constant pipeline delay is charged once, not every frame.
+    mean_quality:
+        Mean of the transmitted rungs' nominal quality scores.
+    """
+
+    controller: str
+    rungs: tuple[str, ...]
+    rung_switches: int
+    time_in_rung: dict[str, float]
+    stall_time_s: float
+    mean_quality: float
+
+
+class AdaptationState:
+    """Per-stream feedback loop shared by every engine-backed simulator.
+
+    Owns everything the controller reads (backlog, goodput EWMA,
+    current rung) and everything the reports show (switch counts, rung
+    dwell times, stall time, delivered quality).  The engine drives it
+    with two calls per frame: :meth:`choose` when the frame is ready,
+    :meth:`record` once the transmission has been priced.
+
+    Parameters
+    ----------
+    controller:
+        The (stateless) :class:`~repro.streaming.adaptive.RateController`
+        policy instance.
+    ladder:
+        The quality ladder rungs are drawn from.
+    start_rung:
+        Rung index in effect before the first frame.
+    interval_s:
+        Frame interval (``1 / target_fps``) in seconds.
+    """
+
+    def __init__(
+        self,
+        controller,
+        ladder: "QualityLadder",
+        start_rung: int,
+        interval_s: float,
+    ):
+        if not 0 <= start_rung < len(ladder):
+            raise ValueError(
+                f"start_rung {start_rung} outside ladder of {len(ladder)} rungs"
+            )
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self.controller = controller
+        self.ladder = ladder
+        self.interval_s = interval_s
+        self.rung = start_rung
+        self.backlog_s = 0.0
+        self.goodput_bps: float | None = None
+        self.rung_names: list[str] = []
+        self.rung_switches = 0
+        self.time_in_rung: dict[str, float] = {}
+        self.stall_time_s = 0.0
+        self._quality_sum = 0.0
+
+    def choose(
+        self,
+        frame_index: int,
+        time_s: float,
+        rung_bits: tuple[int, ...],
+        link_bps: float,
+    ) -> int:
+        """Pick (and commit to) the rung for this frame.
+
+        Parameters
+        ----------
+        frame_index:
+            Zero-based frame number.
+        time_s:
+            Session time at the interval start.
+        rung_bits:
+            Exact encoded size of this frame at every rung.
+        link_bps:
+            Instantaneous PHY rate at ``time_s`` in bits/second.
+
+        Returns
+        -------
+        int
+            The chosen rung index (clamped into the ladder).
+        """
+        ctx = ControllerContext(
+            frame_index=frame_index,
+            time_s=time_s,
+            interval_s=self.interval_s,
+            rung_bits=tuple(rung_bits),
+            backlog_s=self.backlog_s,
+            goodput_bps=self.goodput_bps,
+            link_bps=link_bps,
+            current_rung=self.rung,
+        )
+        chosen = int(self.controller.select_rung(self.ladder, ctx))
+        chosen = max(0, min(chosen, len(self.ladder) - 1))
+        if self.rung_names and chosen != self.rung:
+            self.rung_switches += 1
+        self.rung = chosen
+        return chosen
+
+    def record(self, payload_bits: int, drain_s: float) -> None:
+        """Fold one transmitted frame's timing back into the loop.
+
+        Updates the goodput EWMA with this frame's delivered rate, adds
+        any deadline overrun to the stall total, and rolls the backlog
+        forward: a frame whose transmission (queued behind the backlog)
+        completes after the next display refresh leaves the excess
+        queued.
+
+        Stall is a *throughput* metric: it accrues only while the
+        transmit backlog is **growing** — each frame contributes how
+        much further behind the display clock its transmission left
+        the stream, so a persistent one-interval pipeline delay is
+        charged once, not once per frame.  Fixed propagation and
+        jitter overhead pipeline across frames — they shift latency,
+        not sustainable rate — so they are excluded too, mirroring the
+        serialization-vs-encode bound of
+        :attr:`~repro.streaming.session.SessionReport.sustainable_fps`.
+
+        Parameters
+        ----------
+        payload_bits:
+            Bits actually transmitted (the chosen rung's size).
+        drain_s:
+            Scheduler-assigned time for this payload to leave the air
+            (contended time under a fleet scheduler).
+        """
+        rung = self.ladder[self.rung]
+        self.rung_names.append(rung.name)
+        self._quality_sum += rung.quality
+        self.time_in_rung[rung.name] = (
+            self.time_in_rung.get(rung.name, 0.0) + self.interval_s
+        )
+        new_backlog_s = max(0.0, self.backlog_s + drain_s - self.interval_s)
+        self.stall_time_s += max(0.0, new_backlog_s - self.backlog_s)
+        if drain_s > 0 and payload_bits > 0:
+            sample = payload_bits / drain_s
+            if self.goodput_bps is None:
+                self.goodput_bps = sample
+            else:
+                self.goodput_bps += self.controller.ewma_alpha * (
+                    sample - self.goodput_bps
+                )
+        self.backlog_s = new_backlog_s
+
+    def stats(self) -> AdaptiveStats:
+        """Freeze the accumulated telemetry into an :class:`AdaptiveStats`."""
+        n_frames = len(self.rung_names)
+        return AdaptiveStats(
+            controller=self.controller.name,
+            rungs=tuple(self.rung_names),
+            rung_switches=self.rung_switches,
+            time_in_rung=dict(self.time_in_rung),
+            stall_time_s=self.stall_time_s,
+            mean_quality=self._quality_sum / n_frames if n_frames else 0.0,
+        )
+
+
+# -- frame sources ------------------------------------------------------
+
+
+class FrameSource(abc.ABC):
+    """Produces each frame's encoded payload sizes, one per rung.
+
+    A source answers one question — "how many bits is frame *k* at
+    every available quality rung" — and hides *how*: rendering and
+    encoding on demand (:class:`CodecStreamSource`), replaying
+    precomputed streams (:class:`PrecomputedSource`), or reading a
+    shared :class:`~repro.codecs.ladder.LadderEncodeCache`.  The engine
+    requests frames in display order, so stateful codecs behind a
+    source see their frames serially.
+    """
+
+    @abc.abstractmethod
+    def rung_bits(self, frame_index: int) -> tuple[int, ...]:
+        """Payload bits of frame ``frame_index``, best rung first."""
+
+
+class PrecomputedSource(FrameSource):
+    """Replays precomputed per-frame ladder sizes, cycling if short.
+
+    Parameters
+    ----------
+    frames:
+        One tuple of payload bits per frame (best rung first); shorter
+        streams cycle over the timeline, decoupling simulated duration
+        from encode cost.
+    """
+
+    def __init__(self, frames: Sequence[Sequence[int]]):
+        frames = [tuple(int(bits) for bits in frame) for frame in frames]
+        if not frames:
+            raise ValueError("rung_streams must hold at least one frame")
+        widths = {len(frame) for frame in frames}
+        if len(widths) != 1:
+            raise ValueError(
+                f"every frame must list the same number of rungs, got {sorted(widths)}"
+            )
+        self._frames = frames
+
+    def rung_bits(self, frame_index: int) -> tuple[int, ...]:
+        """Frame sizes, cycling over the precomputed stream."""
+        return self._frames[frame_index % len(self._frames)]
+
+
+class CodecStreamSource(FrameSource):
+    """Renders a scene and encodes each frame with the given codecs.
+
+    One shared :class:`~repro.codecs.context.FrameContext` per eye per
+    frame keeps quantization and tiling at most-once work however many
+    rungs are encoded.  Frames are encoded on first request and
+    memoized, so the engine can ask again (e.g. when replaying) without
+    re-paying the encode.
+
+    Parameters
+    ----------
+    scene:
+        The scene to render.
+    codecs:
+        Codec instances, one per rung (a single pinned codec is a
+        1-rung ladder).  They are ``reset()`` at construction.
+    height, width:
+        Per-eye render resolution.
+    display:
+        Headset geometry for the eccentricity map.
+    fixation_for:
+        Optional ``frame_index -> (x, y)`` gaze lookup; ``None`` keeps
+        the centered default.
+    """
+
+    def __init__(
+        self,
+        scene: "Scene",
+        codecs: Sequence,
+        height: int,
+        width: int,
+        display: "DisplayGeometry",
+        fixation_for: Callable[[int], tuple[float, float]] | None = None,
+    ):
+        if not codecs:
+            raise ValueError("a codec stream source needs at least one codec")
+        for codec in codecs:
+            codec.reset()
+        self._scene = scene
+        self._codecs = list(codecs)
+        self._height = height
+        self._width = width
+        self._display = display
+        self._fixation_for = fixation_for
+        self._cache: dict[int, tuple[int, ...]] = {}
+
+    def rung_bits(self, frame_index: int) -> tuple[int, ...]:
+        """Render and encode frame ``frame_index`` (memoized)."""
+        cached = self._cache.get(frame_index)
+        if cached is not None:
+            return cached
+        fixation = (
+            self._fixation_for(frame_index) if self._fixation_for is not None else None
+        )
+        bits = encode_frame_rungs(
+            self._scene, self._codecs, self._height, self._width, self._display,
+            frame_index, fixation,
+        )
+        self._cache[frame_index] = bits
+        return bits
+
+
+# -- stream specification and outcome -----------------------------------
+
+
+@dataclass
+class StreamSpec:
+    """One stream (client) as the engine sees it.
+
+    Attributes
+    ----------
+    name:
+        Unique stream label.
+    source:
+        Where the stream's per-frame payload sizes come from.
+    n_frames:
+        Frames to stream.
+    target_fps:
+        The stream's own display refresh rate; sets its frame interval
+        (and, under ``pricing="backlog"``, its clock).
+    encode_time_s:
+        Server-side encode time charged to every frame.
+    weight:
+        Scheduling weight under contention.
+    start_s:
+        Session time the stream joins (``pricing="backlog"`` only);
+        models late joiners.
+    adaptation:
+        Optional per-stream :class:`AdaptationState` (controller +
+        telemetry); ``None`` pins the source's first rung.
+    rung_map:
+        Ladder indices available in ``source``, in source order; lets a
+        pinned fleet encode only the rung it transmits.  ``None`` means
+        the identity map.
+    """
+
+    name: str
+    source: FrameSource
+    n_frames: int
+    target_fps: float
+    encode_time_s: float = 0.0
+    weight: float = 1.0
+    start_s: float = 0.0
+    adaptation: AdaptationState | None = None
+    rung_map: tuple[int, ...] | None = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("stream name must be non-empty")
+        validate_stream_timing(n_frames=self.n_frames, target_fps=self.target_fps)
+        if self.encode_time_s < 0:
+            raise ValueError(f"encode_time_s must be >= 0, got {self.encode_time_s}")
+        if self.weight <= 0:
+            raise ValueError(f"stream {self.name!r}: weight must be positive")
+        if self.start_s < 0:
+            raise ValueError(f"start_s must be >= 0, got {self.start_s}")
+
+    @property
+    def interval_s(self) -> float:
+        """The stream's own frame interval in seconds."""
+        return 1.0 / self.target_fps
+
+
+@dataclass(frozen=True)
+class StreamOutcome:
+    """What one stream experienced: per-frame timings plus telemetry.
+
+    Attributes
+    ----------
+    name:
+        The stream's label.
+    frames:
+        One :class:`FrameTiming` per streamed frame, in display order.
+    adaptive:
+        Frozen adaptation telemetry, or ``None`` for pinned streams.
+    """
+
+    name: str
+    frames: list[FrameTiming]
+    adaptive: AdaptiveStats | None = None
+
+
+# -- kernel runtime state -----------------------------------------------
+
+
+class _Flow:
+    """An in-flight transmission inside the fluid event kernel."""
+
+    __slots__ = (
+        "frame_index",
+        "payload_bits",
+        "rung_name",
+        "nominal_s",
+        "send_start_s",
+        "remaining_bits",
+        "share",
+        "version",
+    )
+
+    def __init__(self, frame_index, payload_bits, rung_name, nominal_s, send_start_s):
+        self.frame_index = frame_index
+        self.payload_bits = payload_bits
+        self.rung_name = rung_name
+        self.nominal_s = nominal_s
+        self.send_start_s = send_start_s
+        self.remaining_bits = float(payload_bits)
+        self.share = 0.0
+        self.version = 0
+
+
+class _StreamRuntime:
+    """Mutable per-stream bookkeeping for one engine run."""
+
+    __slots__ = ("spec", "rng", "queue", "flow", "pending_start", "timings", "backlog_s")
+
+    def __init__(self, spec: StreamSpec, rng: np.random.Generator):
+        self.spec = spec
+        self.rng = rng
+        self.queue: deque = deque()
+        self.flow: _Flow | None = None
+        self.pending_start = False
+        self.timings: list[FrameTiming] = []
+        self.backlog_s = 0.0  # non-adaptive solo streams track their own
+
+
+# -- the engine ---------------------------------------------------------
+
+
+class StreamingEngine:
+    """Discrete-event simulation core shared by every streaming path.
+
+    Parameters
+    ----------
+    link:
+        The (possibly traced) wireless link all streams share.
+    scheduler:
+        Link scheduling discipline (name or :class:`LinkScheduler`).
+    pricing:
+        Transport pricing mode, one of
+        :data:`~repro.streaming.validation.PRICING_MODES`:
+
+        ``"backlog"``
+            Each stream runs on its own display clock (``start_s`` +
+            multiples of its frame interval) and queues payloads behind
+            its own transmit backlog.  Concurrent transmissions share
+            the link in the fluid limit of the scheduler's
+            :meth:`~LinkScheduler.instantaneous_shares`, integrated
+            exactly through a traced link's capacity profile.
+        ``"round"``
+            The legacy fleet semantics: all streams tick on one round
+            clock (the fastest stream's interval) and every round's
+            payloads are offered together at the round start via
+            :meth:`~LinkScheduler.drain_times_s`, with backlog feeding
+            the controllers and the stall metric rather than the
+            scheduler.  Drain pricing is preserved bit for bit; jitter
+            overhead now draws from the per-stream spawned RNGs, so on
+            links with ``jitter_ms > 0`` transmit times differ from
+            the pre-engine shared-RNG draws (a one-time, documented
+            change).
+
+    Notes
+    -----
+    A single-stream run under ``"backlog"`` is priced analytically —
+    the event timeline of a lone stream is deterministic, so each
+    frame resolves at its :data:`FRAME_READY` event exactly as the
+    historical session loops did (controller feedback included), which
+    keeps solo reports bit-for-bit stable.  Multi-stream runs resolve
+    contention event by event, so a controller sees a frame's feedback
+    when its transmission actually completes.
+    """
+
+    def __init__(
+        self,
+        link: WirelessLink,
+        scheduler: str | LinkScheduler = "fair",
+        pricing: str = "backlog",
+    ):
+        self.link = link
+        self.scheduler = get_scheduler(scheduler)
+        self.pricing = validate_pricing(pricing)
+        self.last_events: tuple[Event, ...] = ()
+
+    # -- public entry ---------------------------------------------------
+
+    def run(self, streams: Sequence[StreamSpec], seed: int = 0) -> list[StreamOutcome]:
+        """Simulate the streams to completion.
+
+        Parameters
+        ----------
+        streams:
+            The stream specifications; names must be unique.
+        seed:
+            Master seed.  Per-stream jitter RNGs are spawned from
+            ``numpy.random.SeedSequence(seed)``, one child per stream
+            in order — adding a stream never perturbs the jitter draws
+            of the streams before it.
+
+        Returns
+        -------
+        list of StreamOutcome
+            One outcome per stream, in input order.  The kernel's
+            event log (in processing order) is kept on
+            :attr:`last_events`.
+        """
+        streams = list(streams)
+        if not streams:
+            raise ValueError("the engine needs at least one stream")
+        names = [spec.name for spec in streams]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate stream names: {duplicates}")
+        rngs = [
+            np.random.default_rng(child)
+            for child in np.random.SeedSequence(seed).spawn(len(streams))
+        ]
+        runtimes = [_StreamRuntime(spec, rng) for spec, rng in zip(streams, rngs)]
+        self._events: list[Event] = []
+        if self.pricing == "round":
+            self._run_round_priced(runtimes)
+        elif len(runtimes) == 1:
+            self._run_solo(runtimes[0])
+        else:
+            self._run_event_kernel(runtimes)
+        self.last_events = tuple(self._events)
+        return [
+            StreamOutcome(
+                name=rt.spec.name,
+                frames=rt.timings,
+                adaptive=(
+                    rt.spec.adaptation.stats()
+                    if rt.spec.adaptation is not None
+                    else None
+                ),
+            )
+            for rt in runtimes
+        ]
+
+    # -- shared helpers -------------------------------------------------
+
+    def _choose_payload(
+        self, rt: _StreamRuntime, frame_index: int, time_s: float
+    ) -> tuple[int, str]:
+        """Ask the stream's controller (if any) for this frame's rung.
+
+        Returns the payload bits and the rung name ("" when pinned).
+        """
+        spec = rt.spec
+        bits = spec.source.rung_bits(frame_index)
+        state = spec.adaptation
+        if state is None:
+            return bits[0], ""
+        chosen = state.choose(frame_index, time_s, bits, self.link.at(time_s) * 1e6)
+        rung_map = (
+            spec.rung_map if spec.rung_map is not None else tuple(range(len(bits)))
+        )
+        local = rung_map.index(chosen) if chosen in rung_map else 0
+        return bits[local], state.ladder[rung_map[local]].name
+
+    def _log(self, time_s: float, kind: str, stream: str, frame_index: int) -> None:
+        self._events.append(Event(time_s, kind, stream, frame_index))
+
+    # -- round pricing (legacy fleet semantics) -------------------------
+
+    def _run_round_priced(self, runtimes: list[_StreamRuntime]) -> None:
+        """All streams tick together; each round priced as one batch."""
+        if any(rt.spec.start_s != 0.0 for rt in runtimes):
+            raise ValueError(
+                'staggered start_s requires pricing="backlog"; '
+                'round pricing shares one round clock'
+            )
+        interval_s = 1.0 / max(rt.spec.target_fps for rt in runtimes)
+        n_rounds = max(rt.spec.n_frames for rt in runtimes)
+        weights_all = [rt.spec.weight for rt in runtimes]
+        for frame_index in range(n_rounds):
+            round_start_s = frame_index * interval_s
+            active = [
+                rt for rt in runtimes if frame_index < rt.spec.n_frames
+            ]
+            payloads: list[int] = []
+            rung_names: list[str] = []
+            for rt in active:
+                payload, rung_name = self._choose_payload(
+                    rt, frame_index, round_start_s
+                )
+                payloads.append(payload)
+                rung_names.append(rung_name)
+                self._log(round_start_s, FRAME_READY, rt.spec.name, frame_index)
+            weights = (
+                weights_all
+                if len(active) == len(runtimes)
+                else [rt.spec.weight for rt in active]
+            )
+            drains = self.scheduler.drain_times_s(
+                payloads, weights, self.link, start_s=round_start_s
+            )
+            for rt, payload, rung_name, drain in zip(
+                active, payloads, rung_names, drains
+            ):
+                overhead = self.link.overhead_time_s(rt.rng)
+                if rt.spec.adaptation is not None:
+                    rt.spec.adaptation.record(payload, drain)
+                rt.timings.append(
+                    FrameTiming(
+                        frame_index=frame_index,
+                        payload_bits=payload,
+                        encode_time_s=rt.spec.encode_time_s,
+                        serialization_time_s=drain,
+                        transmit_time_s=drain + overhead,
+                        rung=rung_name,
+                    )
+                )
+                self._log(round_start_s, TRANSMIT_START, rt.spec.name, frame_index)
+                self._log(
+                    round_start_s + drain, TRANSMIT_DONE, rt.spec.name, frame_index
+                )
+
+    # -- solo fast path (deterministic timeline) ------------------------
+
+    def _run_solo(self, rt: _StreamRuntime) -> None:
+        """Backlog pricing for a lone stream, resolved analytically.
+
+        With no cross-stream contention every frame's fate is fixed the
+        moment it is ready: it queues behind the stream's backlog,
+        serializes through the (possibly traced) link from its send
+        time, and rolls the backlog forward.  Resolving at the
+        :data:`FRAME_READY` event preserves the historical session
+        loops bit for bit, controller feedback order included.
+        """
+        spec = rt.spec
+        state = spec.adaptation
+        interval_s = spec.interval_s
+        for frame_index in range(spec.n_frames):
+            time_s = spec.start_s + frame_index * interval_s
+            self._log(time_s, FRAME_READY, spec.name, frame_index)
+            payload, rung_name = self._choose_payload(rt, frame_index, time_s)
+            # The payload queues behind the existing backlog before it
+            # can start serializing; the wait is part of this frame's
+            # latency (transmit time) but not of its airtime
+            # (serialization).
+            queue_wait_s = state.backlog_s if state is not None else rt.backlog_s
+            send_start_s = time_s + queue_wait_s
+            serialization = self.link.serialization_time_s(
+                payload, start_s=send_start_s
+            )
+            overhead = self.link.overhead_time_s(rt.rng)
+            rt.timings.append(
+                FrameTiming(
+                    frame_index=frame_index,
+                    payload_bits=payload,
+                    encode_time_s=spec.encode_time_s,
+                    serialization_time_s=serialization,
+                    transmit_time_s=queue_wait_s + serialization + overhead,
+                    rung=rung_name,
+                )
+            )
+            if state is not None:
+                state.record(payload, serialization)
+            else:
+                rt.backlog_s = max(0.0, rt.backlog_s + serialization - interval_s)
+            self._log(send_start_s, TRANSMIT_START, spec.name, frame_index)
+            self._log(
+                send_start_s + serialization, TRANSMIT_DONE, spec.name, frame_index
+            )
+
+    # -- the event kernel (fluid contention) ----------------------------
+
+    def _run_event_kernel(self, runtimes: list[_StreamRuntime]) -> None:
+        """Event-driven backlog pricing for contending streams."""
+        heap: list[tuple] = []
+        seq = 0
+
+        def push(time_s, kind, stream_index, frame_index=-1, version=-1):
+            nonlocal seq
+            heapq.heappush(
+                heap,
+                (time_s, _EVENT_ORDER[kind], seq, kind, stream_index, frame_index, version),
+            )
+            seq += 1
+
+        for index, rt in enumerate(runtimes):
+            interval_s = rt.spec.interval_s
+            for frame_index in range(rt.spec.n_frames):
+                push(
+                    rt.spec.start_s + frame_index * interval_s,
+                    FRAME_READY,
+                    index,
+                    frame_index,
+                )
+
+        clock = 0.0
+        version_counter = 0
+
+        def advance(now: float) -> None:
+            """Drain every in-flight flow at its share up to ``now``."""
+            nonlocal clock
+            if now <= clock:
+                return
+            capacity = self.link.capacity_bits(clock, now)
+            for rt in runtimes:
+                flow = rt.flow
+                if flow is not None and flow.share > 0.0:
+                    flow.remaining_bits = max(
+                        0.0, flow.remaining_bits - flow.share * capacity
+                    )
+            clock = now
+
+        def reschedule(now: float) -> None:
+            """Re-divide the link after the active set changed."""
+            nonlocal version_counter
+            active = [i for i, rt in enumerate(runtimes) if rt.flow is not None]
+            if not active:
+                return
+            shares = self.scheduler.instantaneous_shares(
+                [runtimes[i].spec.weight for i in active]
+            )
+            for i, share in zip(active, shares):
+                flow = runtimes[i].flow
+                version_counter += 1
+                flow.version = version_counter
+                flow.share = share
+                if share <= 0.0:
+                    continue  # re-priced when the active set next changes
+                if flow.remaining_bits <= _DRAIN_EPSILON_BITS:
+                    finish = now
+                else:
+                    finish = now + self.link.serialization_time_s(
+                        flow.remaining_bits / share, start_s=now
+                    )
+                push(finish, TRANSMIT_DONE, i, flow.frame_index, flow.version)
+
+        while heap:
+            time_s, _, _, kind, index, frame_index, version = heapq.heappop(heap)
+            rt = runtimes[index]
+            spec = rt.spec
+            if kind == FRAME_READY:
+                self._log(time_s, FRAME_READY, spec.name, frame_index)
+                payload, rung_name = self._choose_payload(rt, frame_index, time_s)
+                rt.queue.append((frame_index, payload, rung_name, time_s))
+                if rt.flow is None and not rt.pending_start:
+                    rt.pending_start = True
+                    push(time_s, TRANSMIT_START, index)
+            elif kind == TRANSMIT_START:
+                rt.pending_start = False
+                frame_index, payload, rung_name, nominal_s = rt.queue.popleft()
+                self._log(time_s, TRANSMIT_START, spec.name, frame_index)
+                advance(time_s)
+                rt.flow = _Flow(frame_index, payload, rung_name, nominal_s, time_s)
+                reschedule(time_s)
+            else:  # TRANSMIT_DONE
+                flow = rt.flow
+                if flow is None or flow.version != version:
+                    continue  # superseded by a later reschedule
+                self._log(time_s, TRANSMIT_DONE, spec.name, flow.frame_index)
+                advance(time_s)
+                serialization = time_s - flow.send_start_s
+                queue_wait_s = flow.send_start_s - flow.nominal_s
+                overhead = self.link.overhead_time_s(rt.rng)
+                if spec.adaptation is not None:
+                    spec.adaptation.record(flow.payload_bits, serialization)
+                rt.timings.append(
+                    FrameTiming(
+                        frame_index=flow.frame_index,
+                        payload_bits=flow.payload_bits,
+                        encode_time_s=spec.encode_time_s,
+                        serialization_time_s=serialization,
+                        transmit_time_s=queue_wait_s + serialization + overhead,
+                        rung=flow.rung_name,
+                    )
+                )
+                rt.flow = None
+                if rt.queue and not rt.pending_start:
+                    rt.pending_start = True
+                    push(time_s, TRANSMIT_START, index)
+                reschedule(time_s)
+        for rt in runtimes:
+            rt.timings.sort(key=lambda timing: timing.frame_index)

@@ -122,6 +122,31 @@ class WirelessLink:
             return self.bandwidth_mbps
         return self.trace.bandwidth_mbps_at(time_s)
 
+    def capacity_bits(self, start_s: float, end_s: float) -> float:
+        """Bits the link can deliver between two session times.
+
+        The engine's fluid scheduler charges concurrent transmissions
+        their share of exactly this capacity, so contended drains on a
+        traced link integrate the same trace as dedicated ones.
+
+        Parameters
+        ----------
+        start_s, end_s:
+            Interval bounds in seconds, ``start_s <= end_s``.
+
+        Returns
+        -------
+        float
+            Deliverable capacity in bits over ``[start_s, end_s]``.
+        """
+        if end_s < start_s:
+            raise ValueError(
+                f"end_s must be >= start_s, got [{start_s}, {end_s}]"
+            )
+        if self.trace is None:
+            return self.bandwidth_mbps * 1e6 * (end_s - start_s)
+        return self.trace.capacity_bits(start_s, end_s)
+
     def serialization_time_s(self, payload_bits: int, *, start_s: float = 0.0) -> float:
         """Time to push a payload onto the air.
 

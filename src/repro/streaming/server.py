@@ -7,14 +7,21 @@ one access point, so what matters is how encoders behave under
 *contention*: per-client frames compete for the same air time, and the
 scheduler decides who waits.
 
-This module simulates exactly that:
+This module simulates exactly that, as a thin wrapper over the
+discrete-event kernel in :mod:`repro.streaming.engine`:
 
 * each :class:`ClientConfig` carries its own scene, gaze trace,
-  resolution, target refresh rate, codec choice, and scheduling weight;
-* every simulated frame interval, all clients' encoded payloads are
-  offered to one :class:`~repro.streaming.link.WirelessLink` and a
-  :class:`LinkScheduler` — weighted fair share in the fluid (GPS)
-  limit, or strict priority — assigns each payload its drain time;
+  resolution, target refresh rate, codec choice, scheduling weight,
+  and (optionally staggered) start time;
+* encoded payloads contend for one
+  :class:`~repro.streaming.link.WirelessLink` under a
+  :class:`~repro.streaming.engine.LinkScheduler` — weighted fair share
+  in the fluid (GPS) limit, or strict priority.  The default
+  ``pricing="backlog"`` runs every client on its own display clock
+  and queues its payloads behind its own transmit backlog (so mixed
+  refresh rates and late joiners need no fastest-client hack);
+  ``pricing="round"`` replays the legacy round-priced engine (bit for
+  bit on jitter-free links; jitter now draws from per-client RNGs);
 * per-client :class:`ClientReport`\\ s (a
   :class:`~repro.streaming.session.SessionReport` each, so the
   encode-vs-serialization fps bound applies unchanged) roll up into a
@@ -26,11 +33,12 @@ so with ``n_jobs > 1`` the render+encode work fans out over a process
 pool, one task per client stream — frames within a stream stay serial
 and ordered, which is what stateful codecs require.
 
-Two orthogonal extensions ride on the same round loop:
+Two orthogonal extensions ride on the same kernel:
 
 * a **time-varying link** — attach a
-  :class:`~repro.streaming.traces.BandwidthTrace` and every round's
-  drain times are priced at that round's bandwidth;
+  :class:`~repro.streaming.traces.BandwidthTrace` and transmissions
+  drain through whatever rates the trace holds while they are on the
+  air;
 * **adaptive rate control** — pass ``controller=`` and each client
   independently re-picks its codec rung per frame from a
   :class:`~repro.codecs.ladder.QualityLadder`, reporting rung
@@ -41,7 +49,6 @@ Two orthogonal extensions ride on the same round loop:
 
 from __future__ import annotations
 
-import abc
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -52,15 +59,22 @@ from ..parallel import worker_pool
 from ..scenes.display import QUEST2_DISPLAY, DisplayGeometry
 from ..scenes.gaze import GazeSample
 from ..scenes.library import get_scene
-from .adaptive import (
+from .adaptive import FixedController, RateController, get_controller
+from .engine import (
+    SCHEDULER_CHOICES,
     AdaptationState,
     AdaptiveStats,
-    FixedController,
-    RateController,
-    get_controller,
+    FairShareScheduler,
+    LinkScheduler,
+    PrecomputedSource,
+    PriorityScheduler,
+    StreamingEngine,
+    StreamSpec,
+    get_scheduler,
 )
 from .link import WIFI6_LINK, WirelessLink
-from .session import ENCODER_CHOICES, FrameTiming, SessionReport, build_streaming_codec
+from .session import ENCODER_CHOICES, SessionReport, build_streaming_codec
+from .validation import validate_stream_timing
 
 __all__ = [
     "ClientConfig",
@@ -74,10 +88,6 @@ __all__ = [
     "solo_sustainable_fps",
     "simulate_fleet",
 ]
-
-#: Payload remainders below this many bits count as fully drained
-#: (guards the fluid scheduler against float round-off).
-_DRAIN_EPSILON_BITS = 1e-6
 
 
 @dataclass(frozen=True)
@@ -110,6 +120,11 @@ class ClientConfig:
         sample, as a zero-latency tracker would report it.
     encode_throughput_mpixels_s:
         Server-side encoder rate for this client's stream.
+    start_s:
+        Session time this client joins the fleet (a late joiner's
+        first frame is ready at ``start_s``).  Requires
+        ``pricing="backlog"``; the legacy round pricing shares one
+        round clock.
     """
 
     name: str
@@ -122,6 +137,7 @@ class ClientConfig:
     fixation: tuple[float, float] = (0.5, 0.5)
     gaze_trace: tuple[GazeSample, ...] | None = None
     encode_throughput_mpixels_s: float = 500.0
+    start_s: float = 0.0
 
     def __post_init__(self):
         if not self.name:
@@ -143,6 +159,10 @@ class ClientConfig:
         if self.encode_throughput_mpixels_s <= 0:
             raise ValueError(
                 f"client {self.name!r}: encode_throughput_mpixels_s must be positive"
+            )
+        if self.start_s < 0:
+            raise ValueError(
+                f"client {self.name!r}: start_s must be >= 0, got {self.start_s}"
             )
         fx, fy = self.fixation
         if not (0.0 <= fx <= 1.0 and 0.0 <= fy <= 1.0):
@@ -192,137 +212,6 @@ class ClientConfig:
         return (clamped.x, clamped.y)
 
 
-class LinkScheduler(abc.ABC):
-    """Divides one link's capacity among simultaneous frame payloads."""
-
-    #: Registry name (the CLI's ``--scheduler`` spelling).
-    name: str = ""
-
-    @abc.abstractmethod
-    def drain_times_s(
-        self,
-        payload_bits: Sequence[float],
-        weights: Sequence[float],
-        link: WirelessLink,
-        start_s: float = 0.0,
-    ) -> list[float]:
-        """Completion time of each payload, offered at ``start_s``.
-
-        Returns one drain time per payload: how long after the round
-        starts that client's last bit leaves the air.  Zero-size
-        payloads never occupy the link.  ``start_s`` anchors the round
-        on the session clock so traced links price each round at its
-        own bandwidth; constant links ignore it.
-        """
-
-    @staticmethod
-    def _validate(payload_bits: Sequence[float], weights: Sequence[float]) -> None:
-        """Reject mismatched lengths, negative payloads, bad weights."""
-        if len(payload_bits) != len(weights):
-            raise ValueError(
-                f"{len(payload_bits)} payloads but {len(weights)} weights"
-            )
-        if any(p < 0 for p in payload_bits):
-            raise ValueError("payloads must be >= 0 bits")
-        if any(w <= 0 for w in weights):
-            raise ValueError("scheduler weights must be positive")
-
-
-class FairShareScheduler(LinkScheduler):
-    """Weighted fair queueing in the fluid (GPS) limit.
-
-    Every backlogged client receives capacity in proportion to its
-    weight; when one drains, its share redistributes among the rest.
-    Equal weights give the classic per-client ``1/n`` fair share.  On a
-    traced link the rate is re-sampled at the start of each fluid step
-    (a drain event), a piecewise approximation that is exact whenever
-    trace boundaries do not fall inside a step.
-    """
-
-    name = "fair"
-
-    def drain_times_s(self, payload_bits, weights, link, start_s=0.0):
-        """See :meth:`LinkScheduler.drain_times_s`."""
-        self._validate(payload_bits, weights)
-        remaining = [float(bits) for bits in payload_bits]
-        finish = [0.0] * len(remaining)
-        active = [i for i, bits in enumerate(remaining) if bits > 0]
-        now = 0.0
-        while active:
-            bandwidth = link.at(start_s + now) * 1e6
-            total_weight = sum(weights[i] for i in active)
-            rates = {i: bandwidth * weights[i] / total_weight for i in active}
-            step = min(remaining[i] / rates[i] for i in active)
-            now += step
-            still_active = []
-            for i in active:
-                remaining[i] -= rates[i] * step
-                if remaining[i] <= _DRAIN_EPSILON_BITS:
-                    finish[i] = now
-                else:
-                    still_active.append(i)
-            active = still_active
-        return finish
-
-
-class PriorityScheduler(LinkScheduler):
-    """Strict priority: heavier clients transmit first, then the rest.
-
-    Ties break in client order.  The heaviest client sees a dedicated
-    link — useful to model one latency-critical headset among best-
-    effort peers.  On a traced link each transmission serializes at its
-    own (queued) start time, so fades land on whoever is on the air.
-    """
-
-    name = "priority"
-
-    def drain_times_s(self, payload_bits, weights, link, start_s=0.0):
-        """See :meth:`LinkScheduler.drain_times_s`."""
-        self._validate(payload_bits, weights)
-        order = sorted(
-            range(len(payload_bits)), key=lambda i: (-weights[i], i)
-        )
-        finish = [0.0] * len(payload_bits)
-        now = 0.0
-        for i in order:
-            if payload_bits[i] > 0:
-                now += link.serialization_time_s(
-                    payload_bits[i], start_s=start_s + now
-                )
-                finish[i] = now
-        return finish
-
-
-_SCHEDULERS = {cls.name: cls for cls in (FairShareScheduler, PriorityScheduler)}
-
-#: Valid ``--scheduler`` spellings.
-SCHEDULER_CHOICES = tuple(_SCHEDULERS)
-
-
-def get_scheduler(scheduler: str | LinkScheduler) -> LinkScheduler:
-    """Resolve a scheduler name (or pass an instance through).
-
-    Parameters
-    ----------
-    scheduler:
-        A name from :data:`SCHEDULER_CHOICES` or a ready
-        :class:`LinkScheduler` instance.
-
-    Raises
-    ------
-    ValueError
-        For unknown names.
-    """
-    if isinstance(scheduler, LinkScheduler):
-        return scheduler
-    try:
-        return _SCHEDULERS[scheduler]()
-    except KeyError:
-        raise ValueError(
-            f"unknown scheduler {scheduler!r}; expected one of {SCHEDULER_CHOICES}"
-        ) from None
-
-
 @dataclass(frozen=True)
 class ClientReport(SessionReport):
     """One client's session outcome inside a fleet.
@@ -349,6 +238,7 @@ class FleetReport:
     scheduler: str
     n_frames: int
     controller: str | None = None
+    pricing: str = "backlog"
 
     @property
     def n_clients(self) -> int:
@@ -562,14 +452,16 @@ def simulate_fleet(
     seed: int = 0,
     controller: str | RateController | None = None,
     ladder: QualityLadder | None = None,
+    pricing: str = "backlog",
 ) -> FleetReport:
     """Stream ``n_frames`` stereo frames per client over one shared link.
 
-    Every frame interval, each client renders and encodes a stereo
-    frame (its own scene, gaze, resolution, codec) and all payloads
-    contend for the link under ``scheduler``.  ``n_jobs`` parallelizes
-    the render+encode work across client streams; results are
-    bit-identical for any value.
+    Each client renders and encodes its own stream (scene, gaze,
+    resolution, codec) and all payloads contend for the link under
+    ``scheduler``, dispatched through the
+    :class:`~repro.streaming.engine.StreamingEngine`.  ``n_jobs``
+    parallelizes the render+encode work across client streams; results
+    are bit-identical for any value.
 
     Parameters
     ----------
@@ -578,7 +470,7 @@ def simulate_fleet(
     link:
         The shared wireless link; attach a
         :class:`~repro.streaming.traces.BandwidthTrace` for a fading
-        channel (each round is then priced at its own bandwidth).
+        channel.
     scheduler:
         Link scheduling discipline (name or instance).
     n_frames:
@@ -588,23 +480,35 @@ def simulate_fleet(
     display:
         Headset geometry shared by all clients.
     seed:
-        Seed for the link-jitter stream.
+        Master seed.  Per-client jitter RNGs are spawned from
+        ``numpy.random.SeedSequence(seed)`` in client order, so adding
+        a client never perturbs the other clients' jitter draws.
     controller:
         Optional rate-control policy (name or
         :class:`~repro.streaming.adaptive.RateController`).  When set,
         every client starts on the rung matching its configured codec
         and independently re-picks a rung each frame; the ``fixed``
         controller reproduces the non-adaptive engine bit for bit.
-        Rounds are priced exactly as in the non-adaptive engine —
-        payloads offered together at the round start — so per-client
-        backlog informs the controllers and the stall metric, not the
-        scheduler (unlike
-        :func:`~repro.streaming.adaptive.simulate_adaptive_session`,
-        which queues a single stream behind its own backlog).
     ladder:
         Quality ladder for adaptive runs; defaults to
         :meth:`~repro.codecs.ladder.QualityLadder.default`.  Only
         valid with a controller.
+    pricing:
+        Transport pricing mode.  The default ``"backlog"`` gives every
+        client its own display clock — frames arrive at
+        ``start_s + k / target_fps`` and queue behind the client's own
+        transmit backlog, with cross-client contention resolved event
+        by event in the scheduler's fluid limit (this is the semantics
+        :func:`~repro.streaming.adaptive.simulate_adaptive_session`
+        always had, now shared by the fleet; it admits mixed refresh
+        rates and staggered ``start_s`` without a fastest-client
+        hack).  ``"round"`` replays the legacy engine: one round
+        clock at the fastest client's interval, every round's payloads
+        offered together at the round start, backlog feeding the
+        controllers and the stall metric rather than the scheduler.
+        Drain pricing is bit-for-bit; jitter draws now come from the
+        per-client spawned RNGs (see the migration notes), so jittery
+        links see a one-time report change versus PR 3.
 
     Returns
     -------
@@ -619,18 +523,12 @@ def simulate_fleet(
     if len(set(names)) != len(names):
         duplicates = sorted({n for n in names if names.count(n) > 1})
         raise ValueError(f"duplicate client names: {duplicates}")
-    if n_frames <= 0:
-        raise ValueError(f"n_frames must be positive, got {n_frames}")
+    validate_stream_timing(n_frames=n_frames)
     if not isinstance(n_jobs, int) or n_jobs < 1:
         raise ValueError(f"n_jobs must be a positive integer, got {n_jobs!r}")
     if controller is None and ladder is not None:
         raise ValueError("ladder only applies when a controller is given")
-    engine = get_scheduler(scheduler)
-
-    # Rounds share one display clock; with mixed refresh rates the
-    # fastest client sets the interval (slower clients simply re-offer
-    # every round, as the pre-adaptive engine always did).
-    interval_s = 1.0 / max(client.target_fps for client in clients)
+    engine_scheduler = get_scheduler(scheduler)
 
     policy: RateController | None = None
     adapters: list[AdaptationState] | None = None
@@ -653,7 +551,7 @@ def simulate_fleet(
         else:
             rung_maps = [tuple(range(len(ladder)))] * len(clients)
         # Budgets and deadlines are judged against each client's own
-        # refresh rate, even though rounds tick at the fleet interval.
+        # refresh rate, whatever clock the pricing mode ticks on.
         adapters = [
             AdaptationState(policy, ladder, start, 1.0 / client.target_fps)
             for start, client in zip(start_rungs, clients)
@@ -664,63 +562,40 @@ def simulate_fleet(
     else:
         streams = _encode_streams(clients, display, n_frames, n_jobs)
 
-    rng = np.random.default_rng(seed)
-    weights = [client.weight for client in clients]
-    timings: list[list[FrameTiming]] = [[] for _ in clients]
-    for frame_index in range(n_frames):
-        round_start_s = frame_index * interval_s
-        rungs: list[int] = []
-        payloads: list[int] = []
-        for ci in range(len(clients)):
-            frame_bits = streams[ci][frame_index]
-            if adapters is None:
-                rungs.append(0)
-                payloads.append(frame_bits[0])
-                continue
-            chosen = adapters[ci].choose(
-                frame_index,
-                round_start_s,
-                frame_bits,
-                link.at(round_start_s) * 1e6,
-            )
-            local = rung_maps[ci].index(chosen) if chosen in rung_maps[ci] else 0
-            rungs.append(local)
-            payloads.append(frame_bits[local])
-        drains = engine.drain_times_s(payloads, weights, link, start_s=round_start_s)
-        for ci, client in enumerate(clients):
-            overhead = link.overhead_time_s(rng)
-            rung_name = ""
-            if adapters is not None:
-                assert ladder is not None
-                rung_name = ladder[rung_maps[ci][rungs[ci]]].name
-                adapters[ci].record(payloads[ci], drains[ci])
-            timings[ci].append(
-                FrameTiming(
-                    frame_index=frame_index,
-                    payload_bits=payloads[ci],
-                    encode_time_s=client.encode_time_s,
-                    serialization_time_s=drains[ci],
-                    transmit_time_s=drains[ci] + overhead,
-                    rung=rung_name,
-                )
-            )
+    specs = [
+        StreamSpec(
+            name=client.name,
+            source=PrecomputedSource(streams[ci]),
+            n_frames=n_frames,
+            target_fps=client.target_fps,
+            encode_time_s=client.encode_time_s,
+            weight=client.weight,
+            start_s=client.start_s,
+            adaptation=adapters[ci] if adapters is not None else None,
+            rung_map=rung_maps[ci] if adapters is not None else None,
+        )
+        for ci, client in enumerate(clients)
+    ]
+    engine = StreamingEngine(link, scheduler=engine_scheduler, pricing=pricing)
+    outcomes = engine.run(specs, seed=seed)
 
     reports = tuple(
         ClientReport(
             encoder=client.codec,
-            frames=timings[ci],
+            frames=outcome.frames,
             target_fps=client.target_fps,
             name=client.name,
             scene=client.scene,
             weight=client.weight,
-            adaptive=adapters[ci].stats() if adapters is not None else None,
+            adaptive=outcome.adaptive,
         )
-        for ci, client in enumerate(clients)
+        for client, outcome in zip(clients, outcomes)
     )
     return FleetReport(
         clients=reports,
         link=link,
-        scheduler=engine.name,
+        scheduler=engine_scheduler.name,
         n_frames=n_frames,
         controller=policy.name if policy is not None else None,
+        pricing=engine.pricing,
     )

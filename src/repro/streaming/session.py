@@ -23,12 +23,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..codecs.context import FrameContext
 from ..codecs.registry import get_codec, streaming_codec_names
 from ..core.pipeline import PerceptualEncoder
 from ..scenes.display import QUEST2_DISPLAY, DisplayGeometry
 from ..scenes.library import Scene
+from .engine import CodecStreamSource, FrameTiming, StreamingEngine, StreamSpec
 from .link import WirelessLink
+from .validation import validate_stream_timing
 
 __all__ = [
     "FrameTiming",
@@ -60,44 +61,6 @@ def build_streaming_codec(encoder: str, perceptual_encoder: PerceptualEncoder | 
     if encoder in ("bd", "variable-bd"):
         return get_codec(encoder, tile_size=perceptual.tile_size)
     return get_codec(encoder)
-
-
-@dataclass(frozen=True)
-class FrameTiming:
-    """Timing of one stereo frame through the remote pipeline.
-
-    Attributes
-    ----------
-    frame_index:
-        Zero-based frame number within the stream.
-    payload_bits:
-        Encoded size of the transmitted stereo pair.
-    encode_time_s:
-        Server-side encode time for the frame.
-    serialization_time_s:
-        Airtime of the payload (contended drain time inside a fleet).
-    transmit_time_s:
-        Serialization plus propagation/jitter overhead.
-    rung:
-        Quality-ladder rung this frame was transmitted at; empty for
-        non-adaptive streams.
-    """
-
-    frame_index: int
-    payload_bits: int
-    encode_time_s: float
-    serialization_time_s: float
-    transmit_time_s: float
-    rung: str = ""
-
-    @property
-    def motion_to_photon_s(self) -> float:
-        """Render-to-display latency contribution of encode + link.
-
-        (Server render time and display scan-out are common to all
-        encoders and excluded, as the comparison is between encoders.)
-        """
-        return self.encode_time_s + self.transmit_time_s
 
 
 @dataclass(frozen=True)
@@ -170,6 +133,14 @@ def simulate_session(
     matters relative to transmission).  Gaze is centered; per-eye
     sub-frames are encoded independently and share one transmission.
 
+    The session dispatches through the
+    :class:`~repro.streaming.engine.StreamingEngine` as a fleet of one:
+    frames queue behind the stream's own transmit backlog (an
+    oversubscribed link shows up as growing queue wait in
+    ``transmit_time_s``, not as silently overlapping transmissions),
+    and the jitter RNG is the stream's spawned child of ``seed`` — the
+    same draws a one-client fleet sees.
+
     Parameters
     ----------
     scene:
@@ -228,41 +199,25 @@ def simulate_session(
         )
     if ladder is not None:
         raise ValueError("ladder only applies when a controller is given")
-    if n_frames <= 0:
-        raise ValueError(f"n_frames must be positive, got {n_frames}")
-    if target_fps <= 0:
-        raise ValueError(f"target_fps must be positive, got {target_fps}")
-    if encode_throughput_mpixels_s <= 0:
-        raise ValueError("encode_throughput_mpixels_s must be positive")
+    validate_stream_timing(
+        n_frames=n_frames,
+        target_fps=target_fps,
+        encode_throughput_mpixels_s=encode_throughput_mpixels_s,
+    )
 
     codec = build_streaming_codec(encoder, perceptual_encoder)
 
-    eccentricity = display.eccentricity_map(height, width)  # cached on display
-    rng = np.random.default_rng(seed)
-    encode_rate_pixels_s = encode_throughput_mpixels_s * 1e6
-
-    frames = []
-    for index in range(n_frames):
-        left, right = scene.render_stereo(height, width, frame=index)
-        # One shared context per eye per frame: quantization, tiling
-        # and the eccentricity map are derived at most once each.
-        payload = sum(
-            codec.encode(
-                FrameContext(eye, eccentricity=eccentricity, display=display)
-            ).total_bits
-            for eye in (left, right)
-        )
-        encode_time = 2 * height * width / encode_rate_pixels_s
-        # On a traced link each frame serializes at its own send time.
-        start_s = index / target_fps
-        transmit_time = link.transmit_time_s(payload, rng=rng, start_s=start_s)
-        frames.append(
-            FrameTiming(
-                frame_index=index,
-                payload_bits=payload,
-                encode_time_s=encode_time,
-                serialization_time_s=link.serialization_time_s(payload, start_s=start_s),
-                transmit_time_s=transmit_time,
-            )
-        )
-    return SessionReport(encoder=encoder, frames=frames, target_fps=target_fps)
+    # A solo session is a fleet of one: a single engine stream under
+    # backlog pricing (frames queue behind the stream's own transmit
+    # backlog; on a traced link each payload drains through the trace
+    # from its actual send time).
+    spec = StreamSpec(
+        name="session",
+        source=CodecStreamSource(scene, [codec], height, width, display),
+        n_frames=n_frames,
+        target_fps=target_fps,
+        encode_time_s=2 * height * width / (encode_throughput_mpixels_s * 1e6),
+    )
+    engine = StreamingEngine(link, pricing="backlog")
+    outcome = engine.run([spec], seed=seed)[0]
+    return SessionReport(encoder=encoder, frames=outcome.frames, target_fps=target_fps)

@@ -13,9 +13,11 @@ frame-granularity simulator asks:
 * when does a payload that starts transmitting at ``t`` finish
   (``finish_time_s``)?
 
-Both are O(log segments) via precomputed cumulative-capacity arrays,
-so the session and fleet simulators can query the trace once per frame
-without rescanning it.
+Both are O(log segments) via precomputed cumulative-capacity arrays —
+as is the capacity integral (``capacity_bits``) the discrete-event
+kernel in :mod:`repro.streaming.engine` charges concurrent
+transmissions against — so the simulators can query the trace at every
+event without rescanning it.
 
 Examples
 --------

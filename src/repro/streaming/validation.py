@@ -1,0 +1,80 @@
+"""Shared parameter validation for the streaming simulators.
+
+Every public simulator — :func:`~repro.streaming.session.simulate_session`,
+:func:`~repro.streaming.adaptive.simulate_adaptive_session`, and
+:func:`~repro.streaming.server.simulate_fleet` — used to carry its own
+copy of the same guard clauses, with error messages drifting apart one
+review at a time.  They now all validate here, as does the
+:class:`~repro.streaming.engine.StreamingEngine` they dispatch through,
+so a bad ``n_frames`` raises the same message whichever door it comes
+in by.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PRICING_MODES", "validate_stream_timing", "validate_pricing"]
+
+#: Transport pricing disciplines the engine understands: ``"backlog"``
+#: queues each stream's payloads behind its own transmit backlog
+#: (per-stream clocks, event-driven contention); ``"round"`` replays
+#: the legacy fleet semantics where every round's payloads are offered
+#: together at the round start.
+PRICING_MODES = ("backlog", "round")
+
+
+def validate_stream_timing(
+    n_frames: int | None = None,
+    target_fps: float | None = None,
+    encode_throughput_mpixels_s: float | None = None,
+) -> None:
+    """Reject non-positive stream-timing parameters.
+
+    Pass only the parameters the caller actually has; ``None`` skips a
+    check.  Error messages are the historical ones, so callers (and
+    tests) matching on them keep working.
+
+    Parameters
+    ----------
+    n_frames:
+        Number of frames to stream; must be positive.
+    target_fps:
+        Display refresh rate in frames per second; must be positive.
+    encode_throughput_mpixels_s:
+        Server-side encoder rate; must be positive.
+
+    Raises
+    ------
+    ValueError
+        On the first non-positive value, with the parameter named.
+    """
+    if n_frames is not None and n_frames <= 0:
+        raise ValueError(f"n_frames must be positive, got {n_frames}")
+    if target_fps is not None and target_fps <= 0:
+        raise ValueError(f"target_fps must be positive, got {target_fps}")
+    if encode_throughput_mpixels_s is not None and encode_throughput_mpixels_s <= 0:
+        raise ValueError("encode_throughput_mpixels_s must be positive")
+
+
+def validate_pricing(pricing: str) -> str:
+    """Canonicalize a transport-pricing mode name.
+
+    Parameters
+    ----------
+    pricing:
+        One of :data:`PRICING_MODES`.
+
+    Returns
+    -------
+    str
+        The validated mode, unchanged.
+
+    Raises
+    ------
+    ValueError
+        For unknown modes.
+    """
+    if pricing not in PRICING_MODES:
+        raise ValueError(
+            f"unknown pricing {pricing!r}; expected one of {PRICING_MODES}"
+        )
+    return pricing

@@ -7,7 +7,6 @@ import numpy as np
 import pytest
 
 from repro.codecs import (
-    FrameContext,
     encode_batch,
     get_codec,
     make_contexts,

@@ -1,6 +1,5 @@
 """Tests for the unified codec registry and its shims."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.registry import BASELINE_NAMES, baseline_bits

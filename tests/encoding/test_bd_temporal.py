@@ -103,7 +103,6 @@ class TestAccountant:
     def test_animated_scene_stream(self):
         """End to end with the scene generator and the perceptual
         encoder: temporal mode helps on an animated sequence."""
-        from repro.color.srgb import encode_srgb8
         from repro.core.pipeline import PerceptualEncoder
         from repro.encoding.tiling import tile_frame
         from repro.scenes.display import QUEST2_DISPLAY

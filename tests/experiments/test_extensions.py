@@ -1,6 +1,5 @@
 """Tests for the extension experiment runners."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import ExperimentConfig

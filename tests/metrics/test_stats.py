@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.metrics.stats import Summary, geometric_mean, summarize
+from repro.metrics.stats import geometric_mean, summarize
 
 
 class TestSummarize:

@@ -8,7 +8,6 @@ from repro.perception.calibration import (
     calibrated_model,
     sample_population,
 )
-from repro.perception.model import ParametricModel
 
 
 class TestObserverProfile:

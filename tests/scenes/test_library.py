@@ -74,7 +74,6 @@ class TestLuminanceProfile:
 
     def test_fortnite_is_green_dominant(self):
         frame = render_scene("fortnite", 96, 96)
-        means = frame.mean(axis=(0, 1))
         terrain = frame[60:, :, :]
         assert terrain.mean(axis=(0, 1))[1] == terrain.mean(axis=(0, 1)).max()
 

@@ -1,0 +1,433 @@
+"""Tests for the discrete-event streaming kernel.
+
+The two bit-for-bit properties here are the refactor's acceptance
+criteria: a fleet of one reproduces the solo session exactly, and
+``pricing="round"`` reproduces the legacy round-priced fleet engine
+(drain times from one batched scheduler call per round, jitter from
+per-client spawned RNGs) exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs.ladder import LadderEncodeCache, QualityLadder
+from repro.scenes.display import QUEST2_DISPLAY
+from repro.scenes.library import get_scene
+from repro.streaming.adaptive import simulate_adaptive_session
+from repro.streaming.engine import (
+    FRAME_READY,
+    TRANSMIT_DONE,
+    TRANSMIT_START,
+    FairShareScheduler,
+    PrecomputedSource,
+    PriorityScheduler,
+    StreamingEngine,
+    StreamSpec,
+    get_scheduler,
+)
+from repro.streaming.link import WirelessLink
+from repro.streaming.server import ClientConfig, simulate_fleet
+from repro.streaming.session import ENCODER_CHOICES, simulate_session
+from repro.streaming.validation import PRICING_MODES, validate_stream_timing
+
+JITTERY_LINK = WirelessLink(bandwidth_mbps=200.0, propagation_ms=3.0, jitter_ms=1.0)
+CALM_LINK = WirelessLink(bandwidth_mbps=200.0, propagation_ms=3.0)
+#: 100 bits per second keeps hand-computed drains in whole seconds.
+TOY_LINK = WirelessLink(bandwidth_mbps=100 / 1e6, propagation_ms=0.0)
+
+
+def frame_fields(report):
+    return [
+        (f.frame_index, f.payload_bits, f.serialization_time_s, f.transmit_time_s)
+        for f in report.frames
+    ]
+
+
+class TestFleetOfOneIsSolo:
+    """Acceptance: engine-backed fleet-of-one == simulate_session."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        codec=st.sampled_from(ENCODER_CHOICES),
+        seed=st.integers(min_value=0, max_value=2**16),
+        n_frames=st.integers(min_value=1, max_value=3),
+        jitter=st.booleans(),
+        scene=st.sampled_from(("office", "fortnite")),
+    )
+    def test_single_client_fleet_reproduces_session_bit_for_bit(
+        self, codec, seed, n_frames, jitter, scene
+    ):
+        link = JITTERY_LINK if jitter else CALM_LINK
+        client = ClientConfig(name="solo", scene=scene, codec=codec, height=16, width=16)
+        fleet = simulate_fleet([client], link, n_frames=n_frames, seed=seed)
+        solo = simulate_session(
+            get_scene(scene), link, encoder=codec,
+            n_frames=n_frames, height=16, width=16, seed=seed,
+        )
+        assert frame_fields(fleet.clients[0]) == frame_fields(solo)
+        assert [f.encode_time_s for f in fleet.clients[0].frames] == [
+            f.encode_time_s for f in solo.frames
+        ]
+
+    def test_adaptive_single_client_fleet_reproduces_adaptive_session(self):
+        """The same property holds through the controller path."""
+        link = WirelessLink(bandwidth_mbps=4.0, propagation_ms=3.0, jitter_ms=0.5)
+        client = ClientConfig(name="solo", codec="raw", height=16, width=16)
+        fleet = simulate_fleet(
+            [client], link, n_frames=5, seed=11, controller="throughput"
+        )
+        solo = simulate_adaptive_session(
+            get_scene("office"), link, "throughput",
+            n_frames=5, height=16, width=16, seed=11, start_rung="raw",
+        )
+        assert frame_fields(fleet.clients[0]) == frame_fields(solo)
+        assert fleet.clients[0].adaptive.rungs == solo.adaptive.rungs
+        assert fleet.clients[0].adaptive.stall_time_s == solo.adaptive.stall_time_s
+
+
+class TestRoundPricingIsLegacyFleet:
+    """Acceptance: ``pricing="round"`` == the PR 3 round-priced loop."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        n_clients=st.integers(min_value=1, max_value=3),
+        scheduler=st.sampled_from(("fair", "priority")),
+        seed=st.integers(min_value=0, max_value=2**16),
+        jitter=st.booleans(),
+    )
+    def test_round_pricing_matches_reference_round_loop(
+        self, n_clients, scheduler, seed, jitter
+    ):
+        """Property: every round is priced by one batched scheduler
+        call at the round start — the PR 3 loop, transcribed — plus a
+        jitter draw from this PR's per-client spawned RNGs (the one
+        documented departure from PR 3; jitter-free links are
+        bit-for-bit with the old engine)."""
+        link = JITTERY_LINK if jitter else CALM_LINK
+        clients = [
+            ClientConfig(name=f"c{i}", codec="bd", height=16, width=16,
+                         weight=1.0 + i)
+            for i in range(n_clients)
+        ]
+        n_frames = 2
+        report = simulate_fleet(
+            clients, link, scheduler=scheduler, n_frames=n_frames, seed=seed,
+            pricing="round",
+        )
+        assert report.pricing == "round"
+
+        # Reference: the legacy round loop over the engine's payloads.
+        sched = get_scheduler(scheduler)
+        rngs = [
+            np.random.default_rng(child)
+            for child in np.random.SeedSequence(seed).spawn(n_clients)
+        ]
+        interval = 1.0 / max(c.target_fps for c in clients)
+        weights = [c.weight for c in clients]
+        for k in range(n_frames):
+            payloads = [r.frames[k].payload_bits for r in report.clients]
+            drains = sched.drain_times_s(
+                payloads, weights, link, start_s=k * interval
+            )
+            for ci, r in enumerate(report.clients):
+                overhead = link.overhead_time_s(rngs[ci])
+                assert r.frames[k].serialization_time_s == drains[ci]
+                assert r.frames[k].transmit_time_s == drains[ci] + overhead
+
+    def test_round_equals_backlog_when_nothing_queues(self):
+        """On an uncongested constant link with equal refresh rates the
+        two pricings agree: every frame drains within its interval, so
+        backlog queueing never engages."""
+        clients = [
+            ClientConfig(name=f"c{i}", codec="bd", height=16, width=16)
+            for i in range(3)
+        ]
+        rounds = simulate_fleet(clients, CALM_LINK, n_frames=2, seed=3,
+                                pricing="round")
+        backlog = simulate_fleet(clients, CALM_LINK, n_frames=2, seed=3,
+                                 pricing="backlog")
+        for a, b in zip(rounds.clients, backlog.clients):
+            assert [f.payload_bits for f in a.frames] == [
+                f.payload_bits for f in b.frames
+            ]
+            assert [f.serialization_time_s for f in a.frames] == pytest.approx(
+                [f.serialization_time_s for f in b.frames]
+            )
+
+    def test_round_pricing_rejects_staggered_starts(self):
+        clients = [
+            ClientConfig(name="a", height=16, width=16),
+            ClientConfig(name="b", height=16, width=16, start_s=0.1),
+        ]
+        with pytest.raises(ValueError, match="backlog"):
+            simulate_fleet(clients, CALM_LINK, n_frames=1, pricing="round")
+
+    def test_unknown_pricing_rejected(self):
+        client = ClientConfig(name="a", height=16, width=16)
+        with pytest.raises(ValueError, match="unknown pricing"):
+            simulate_fleet([client], CALM_LINK, n_frames=1, pricing="auction")
+
+
+class TestPerClientJitterRngs:
+    def test_adding_a_client_never_perturbs_existing_jitter_draws(self):
+        """Satellite: spawned per-client RNGs.  Under strict priority
+        the top client's drains are contention-free, so with stable
+        per-client RNG streams its frame timings must be identical
+        whether or not a second client exists."""
+        top = ClientConfig(name="top", codec="bd", height=16, width=16,
+                           weight=10.0)
+        extra = ClientConfig(name="extra", codec="raw", height=16, width=16)
+        alone = simulate_fleet([top], JITTERY_LINK, scheduler="priority",
+                               n_frames=3, seed=21, pricing="round")
+        crowd = simulate_fleet([top, extra], JITTERY_LINK, scheduler="priority",
+                               n_frames=3, seed=21, pricing="round")
+        assert frame_fields(alone.client("top")) == frame_fields(crowd.client("top"))
+
+
+class TestBacklogPricing:
+    def test_staggered_start_delays_first_frame(self):
+        source = PrecomputedSource([(100,)])
+        specs = [
+            StreamSpec(name="early", source=source, n_frames=2, target_fps=1.0),
+            StreamSpec(name="late", source=source, n_frames=2, target_fps=1.0,
+                       start_s=10.0),
+        ]
+        engine = StreamingEngine(TOY_LINK)
+        engine.run(specs, seed=0)
+        ready = {
+            (e.stream, e.frame_index): e.time_s
+            for e in engine.last_events if e.kind == FRAME_READY
+        }
+        assert ready[("early", 0)] == 0.0
+        assert ready[("late", 0)] == 10.0
+        assert ready[("late", 1)] == 11.0
+
+    def test_mixed_refresh_rates_run_on_their_own_clocks(self):
+        """No fastest-client hack: each stream's frames arrive at its
+        own interval and both stream their full frame count."""
+        source = PrecomputedSource([(10,)])
+        specs = [
+            StreamSpec(name="fast", source=source, n_frames=4, target_fps=2.0),
+            StreamSpec(name="slow", source=source, n_frames=2, target_fps=1.0),
+        ]
+        engine = StreamingEngine(TOY_LINK)
+        outcomes = engine.run(specs, seed=0)
+        ready = {
+            (e.stream, e.frame_index): e.time_s
+            for e in engine.last_events if e.kind == FRAME_READY
+        }
+        assert [ready[("fast", k)] for k in range(4)] == [0.0, 0.5, 1.0, 1.5]
+        assert [ready[("slow", k)] for k in range(2)] == [0.0, 1.0]
+        assert len(outcomes[0].frames) == 4 and len(outcomes[1].frames) == 2
+
+    def test_fluid_contention_matches_gps_by_hand(self):
+        """Two simultaneous equal-weight flows on a 100 b/s link: the
+        100-bit payload drains at 50 b/s in 2 s, then the survivor
+        finishes at full rate at t=4 — the classic GPS schedule."""
+        specs = [
+            StreamSpec(name="a", source=PrecomputedSource([(100,)]),
+                       n_frames=1, target_fps=0.1),
+            StreamSpec(name="b", source=PrecomputedSource([(300,)]),
+                       n_frames=1, target_fps=0.1),
+        ]
+        outcomes = StreamingEngine(TOY_LINK).run(specs, seed=0)
+        assert outcomes[0].frames[0].serialization_time_s == pytest.approx(2.0)
+        assert outcomes[1].frames[0].serialization_time_s == pytest.approx(4.0)
+
+    def test_priority_preempts_in_fluid_mode(self):
+        specs = [
+            StreamSpec(name="lo", source=PrecomputedSource([(100,)]),
+                       n_frames=1, target_fps=0.1, weight=1.0),
+            StreamSpec(name="hi", source=PrecomputedSource([(300,)]),
+                       n_frames=1, target_fps=0.1, weight=2.0),
+        ]
+        outcomes = StreamingEngine(TOY_LINK, scheduler="priority").run(specs, seed=0)
+        # hi owns the link for 3 s; lo's bits only flow afterwards.
+        assert outcomes[1].frames[0].serialization_time_s == pytest.approx(3.0)
+        assert outcomes[0].frames[0].serialization_time_s == pytest.approx(4.0)
+
+    def test_backlog_queues_within_a_stream(self):
+        """A 300-bit payload every second on a 100 b/s link: each frame
+        waits behind its predecessors' unfinished airtime."""
+        spec = StreamSpec(name="s", source=PrecomputedSource([(300,)]),
+                          n_frames=3, target_fps=1.0)
+        outcomes = StreamingEngine(TOY_LINK).run([spec], seed=0)
+        transmits = [f.transmit_time_s for f in outcomes[0].frames]
+        # Queue waits grow by 2 s per frame (3 s airtime, 1 s interval).
+        assert transmits == pytest.approx([3.0, 5.0, 7.0])
+
+    def test_traced_link_contention_integrates_the_trace(self):
+        """Two equal flows across a rate step: capacity integration
+        (not rate sampling) prices the drain.  Link: 200 b/s for the
+        first second, then 100 b/s.  Two 200-bit payloads: together
+        they drain 200 bits in the first second (100 each), then 100
+        bits/s shared until each's remaining 100 bits drain at 50 b/s
+        — finishing together at t = 3."""
+        from repro.streaming.traces import BandwidthTrace
+
+        trace = BandwidthTrace([0.0, 1.0], [200 / 1e6, 100 / 1e6])
+        link = WirelessLink.traced(trace, propagation_ms=0.0)
+        specs = [
+            StreamSpec(name="a", source=PrecomputedSource([(200,)]),
+                       n_frames=1, target_fps=0.1),
+            StreamSpec(name="b", source=PrecomputedSource([(200,)]),
+                       n_frames=1, target_fps=0.1),
+        ]
+        outcomes = StreamingEngine(link).run(specs, seed=0)
+        for outcome in outcomes:
+            assert outcome.frames[0].serialization_time_s == pytest.approx(3.0)
+
+
+class TestEventLog:
+    def test_every_frame_emits_the_three_event_kinds(self):
+        spec = StreamSpec(name="s", source=PrecomputedSource([(100,)]),
+                          n_frames=2, target_fps=1.0)
+        engine = StreamingEngine(TOY_LINK)
+        engine.run([spec], seed=0)
+        kinds = [(e.kind, e.frame_index) for e in engine.last_events]
+        for k in range(2):
+            assert (FRAME_READY, k) in kinds
+            assert (TRANSMIT_START, k) in kinds
+            assert (TRANSMIT_DONE, k) in kinds
+
+    def test_round_pricing_logs_rounds(self):
+        specs = [
+            StreamSpec(name="a", source=PrecomputedSource([(100,)]),
+                       n_frames=1, target_fps=1.0),
+            StreamSpec(name="b", source=PrecomputedSource([(100,)]),
+                       n_frames=1, target_fps=1.0),
+        ]
+        engine = StreamingEngine(TOY_LINK, pricing="round")
+        engine.run(specs, seed=0)
+        ready = [e for e in engine.last_events if e.kind == FRAME_READY]
+        assert {e.stream for e in ready} == {"a", "b"}
+        assert all(e.time_s == 0.0 for e in ready)
+
+
+class TestSchedulersShares:
+    def test_fair_shares_are_weight_proportional(self):
+        assert FairShareScheduler().instantaneous_shares([1.0, 3.0]) == [0.25, 0.75]
+
+    def test_priority_gives_all_to_heaviest(self):
+        assert PriorityScheduler().instantaneous_shares([1.0, 2.0]) == [0.0, 1.0]
+        # Ties break toward the first flow.
+        assert PriorityScheduler().instantaneous_shares([1.0, 1.0]) == [1.0, 0.0]
+
+    def test_shares_reject_bad_weights(self):
+        with pytest.raises(ValueError, match="positive"):
+            FairShareScheduler().instantaneous_shares([0.0])
+        with pytest.raises(ValueError, match="positive"):
+            PriorityScheduler().instantaneous_shares([-1.0])
+
+
+class TestEngineValidation:
+    def test_rejects_empty_and_duplicate_streams(self):
+        engine = StreamingEngine(TOY_LINK)
+        with pytest.raises(ValueError, match="at least one"):
+            engine.run([])
+        spec = StreamSpec(name="s", source=PrecomputedSource([(1,)]),
+                          n_frames=1, target_fps=1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            engine.run([spec, spec])
+
+    def test_stream_spec_validates(self):
+        source = PrecomputedSource([(1,)])
+        with pytest.raises(ValueError, match="n_frames"):
+            StreamSpec(name="s", source=source, n_frames=0, target_fps=1.0)
+        with pytest.raises(ValueError, match="target_fps"):
+            StreamSpec(name="s", source=source, n_frames=1, target_fps=0.0)
+        with pytest.raises(ValueError, match="start_s"):
+            StreamSpec(name="s", source=source, n_frames=1, target_fps=1.0,
+                       start_s=-1.0)
+        with pytest.raises(ValueError, match="weight"):
+            StreamSpec(name="s", source=source, n_frames=1, target_fps=1.0,
+                       weight=0.0)
+
+    def test_shared_validator_messages(self):
+        with pytest.raises(ValueError, match="n_frames must be positive"):
+            validate_stream_timing(n_frames=0)
+        with pytest.raises(ValueError, match="target_fps must be positive"):
+            validate_stream_timing(target_fps=-1)
+        with pytest.raises(ValueError, match="encode_throughput"):
+            validate_stream_timing(encode_throughput_mpixels_s=0)
+        validate_stream_timing()  # nothing to check is fine
+
+    def test_precomputed_source_validates(self):
+        with pytest.raises(ValueError, match="at least one frame"):
+            PrecomputedSource([])
+        with pytest.raises(ValueError, match="same number of rungs"):
+            PrecomputedSource([(1, 2), (1,)])
+        assert PRICING_MODES == ("backlog", "round")
+
+
+class TestLadderEncodeCache:
+    def test_sweep_encodes_each_frame_once(self, monkeypatch):
+        import repro.codecs.ladder as ladder_module
+
+        calls = []
+        real = ladder_module.encode_stereo_bits
+
+        def counting(codecs, eyes, eccentricity, display):
+            calls.append(len(codecs))
+            return real(codecs, eyes, eccentricity, display)
+
+        monkeypatch.setattr(ladder_module, "encode_stereo_bits", counting)
+        cache = LadderEncodeCache(
+            get_scene("office"), QualityLadder.default(), 32, 32, QUEST2_DISPLAY
+        )
+        first = [cache.rung_bits(k) for k in range(2)]
+        again = [cache.rung_bits(k) for k in range(2)]
+        assert first == again
+        assert len(calls) == 2  # one encode per unique frame, ever
+        assert cache.encode_count == 2 and cache.hits == 2
+
+    def test_cache_matches_direct_encoding(self):
+        ladder = QualityLadder.default()
+        cache = LadderEncodeCache(get_scene("office"), ladder, 32, 32, QUEST2_DISPLAY)
+        report = simulate_adaptive_session(
+            get_scene("office"), CALM_LINK, "buffer",
+            n_frames=3, height=32, width=32, encode_cache=cache,
+        )
+        direct = simulate_adaptive_session(
+            get_scene("office"), CALM_LINK, "buffer",
+            n_frames=3, height=32, width=32,
+        )
+        assert frame_fields(report) == frame_fields(direct)
+
+    def test_cache_rejects_mismatched_ladder_and_rung_streams(self):
+        ladder = QualityLadder.default()
+        cache = LadderEncodeCache(get_scene("office"), ladder, 32, 32, QUEST2_DISPLAY)
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            simulate_adaptive_session(
+                get_scene("office"), CALM_LINK, n_frames=1,
+                encode_cache=cache, rung_streams=[(1,) * len(ladder)],
+            )
+        with pytest.raises(ValueError, match="match the encode_cache"):
+            simulate_adaptive_session(
+                get_scene("office"), CALM_LINK, n_frames=1,
+                encode_cache=cache, ladder=QualityLadder.default(),
+            )
+
+    def test_cache_rejects_mismatched_content(self):
+        ladder = QualityLadder.default()
+        cache = LadderEncodeCache(get_scene("office"), ladder, 32, 32, QUEST2_DISPLAY)
+        with pytest.raises(ValueError, match="different scene"):
+            simulate_adaptive_session(
+                get_scene("fortnite"), CALM_LINK, n_frames=1, encode_cache=cache
+            )
+        with pytest.raises(ValueError, match="different scene"):
+            simulate_adaptive_session(
+                get_scene("office"), CALM_LINK, n_frames=1,
+                height=64, width=64, encode_cache=cache,
+            )
+
+    def test_cache_rejects_stateful_rungs(self):
+        from repro.codecs.ladder import QualityRung
+
+        ladder = QualityLadder(
+            rungs=(QualityRung(name="t", codec="temporal-bd", quality=0.9),)
+        )
+        with pytest.raises(ValueError, match="stateful"):
+            LadderEncodeCache(get_scene("office"), ladder, 32, 32, QUEST2_DISPLAY)

@@ -1,6 +1,5 @@
 """Tests for the simulated user-study harness (Fig. 14)."""
 
-import numpy as np
 import pytest
 
 from repro.core.pipeline import PerceptualEncoder

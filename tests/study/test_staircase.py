@@ -5,7 +5,6 @@ import pytest
 
 from repro.perception.calibration import ObserverProfile
 from repro.study.staircase import (
-    CalibrationRun,
     StaircaseConfig,
     calibrate_profile,
     run_staircase,

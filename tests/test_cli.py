@@ -131,6 +131,19 @@ class TestFleet:
         assert code == 0
         assert "controller fixed" in capsys.readouterr().out
 
+    def test_fleet_pricing_forwarded(self, capsys):
+        code = main(
+            ["fleet", "--clients", "2", "--pricing", "round",
+             "--codecs", "bd", "--height", "48", "--width", "48",
+             "--frames", "1"]
+        )
+        assert code == 0
+        assert "fleet fps" in capsys.readouterr().out
+
+    def test_pricing_rejected_elsewhere(self, capsys):
+        assert main(["fig10", "--pricing", "round"]) == 2
+        assert "only affect the fleet" in capsys.readouterr().err
+
     def test_fleet_rejects_bad_trace_specs(self, capsys):
         assert main(["fleet", "--trace", "sine:1:2:3"]) == 2
         assert "bad --trace" in capsys.readouterr().err

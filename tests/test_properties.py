@@ -6,7 +6,6 @@ the optimizer, codec consistency, and determinism.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
