@@ -156,6 +156,12 @@ class QualityLadder:
                 "rung quality must be non-increasing from index 0 "
                 f"(best first), got {qualities}"
             )
+        # Built-codec cache (not a dataclass field: it is mutable
+        # bookkeeping, irrelevant to equality/hashing).  One
+        # (encoder, codec) entry per rung index — bounded by the
+        # ladder length, so a long-lived ladder never accumulates
+        # references to every encoder it has seen.
+        object.__setattr__(self, "_codec_cache", {})
 
     @classmethod
     def default(cls) -> "QualityLadder":
@@ -209,8 +215,27 @@ class QualityLadder:
     def build_codec(
         self, index: int, perceptual_encoder: "PerceptualEncoder | None" = None
     ) -> "Codec":
-        """A fresh codec instance for the rung at ``index``."""
-        return self.rungs[index].build(perceptual_encoder)
+        """The codec instance for the rung at ``index``.
+
+        Stateless codecs are cached: as long as a rung is requested
+        with the same ``perceptual_encoder`` (identity) as last time,
+        the same instance is returned — so a controller sweep that
+        rebuilds its ladder codecs per run (or a fleet that builds
+        them per client) reuses instances instead of reconstructing
+        the whole ladder each time.  The cache keeps one entry per
+        rung (a different encoder simply replaces it), so a long-lived
+        ladder stays bounded.  Stateful codecs (``Codec.stateful``,
+        e.g. temporal BD) carry per-stream history, so they are never
+        cached: each call returns a fresh instance.
+        """
+        cache: dict = self._codec_cache  # type: ignore[attr-defined]
+        hit = cache.get(index)
+        if hit is not None and hit[0] is perceptual_encoder:
+            return hit[1]
+        codec = self.rungs[index].build(perceptual_encoder)
+        if not codec.stateful:
+            cache[index] = (perceptual_encoder, codec)
+        return codec
 
     def __len__(self) -> int:
         return len(self.rungs)

@@ -23,9 +23,9 @@ from __future__ import annotations
 from ..baselines.png_codec import png_compressed_bits
 from ..baselines.scc import DEFAULT_SCC_ECCENTRICITY, scc_bits_per_pixel
 from ..encoding.accounting import SizeBreakdown
-from ..encoding.bd import bd_breakdown
+from ..encoding.bd import bd_breakdown, bd_stream_bytes
 from ..encoding.bd_temporal import TemporalBDAccountant
-from ..encoding.bd_variable import variable_bd_breakdown
+from ..encoding.bd_variable import variable_bd_breakdown, variable_bd_stream_bytes
 from .base import Codec, EncodedFrame
 from .context import FrameContext
 from .registry import register
@@ -58,23 +58,35 @@ class NoComCodec(Codec):
 
 @register("bd", streaming="bd")
 class BDCostCodec(Codec):
-    """Fixed-width Base+Delta on the frame as-is (the BD baseline)."""
+    """Fixed-width Base+Delta on the frame as-is (the BD baseline).
 
-    def __init__(self, tile_size: int = 4):
+    By default this is pure accounting (the experiments only need
+    sizes).  With ``payload=True`` the encode also emits the real
+    bitstream — serialized by the vectorized kernels of
+    :mod:`repro.encoding.packing` from the context's cached tile stack
+    — as ``metadata["payload"]``, decodable with
+    :class:`repro.encoding.bd.BDCodec`.
+    """
+
+    def __init__(self, tile_size: int = 4, payload: bool = False):
         if tile_size < 1:
             raise ValueError(f"tile_size must be >= 1, got {tile_size}")
         self.tile_size = tile_size
+        self.payload = payload
 
     def encode(self, ctx: FrameContext) -> EncodedFrame:
         """Cost the frame under fixed-width Base+Delta tiling."""
-        tiles, _grid = ctx.tiles(self.tile_size)
+        tiles, grid = ctx.tiles(self.tile_size)
         breakdown = bd_breakdown(tiles, n_pixels=ctx.n_pixels)
+        metadata = {"tile_size": self.tile_size}
+        if self.payload:
+            metadata["payload"] = bd_stream_bytes(tiles, grid)
         return EncodedFrame(
             codec=self.name,
             total_bits=breakdown.total_bits,
             n_pixels=ctx.n_pixels,
             breakdown=breakdown,
-            metadata={"tile_size": self.tile_size},
+            metadata=metadata,
         )
 
 
@@ -143,26 +155,35 @@ class PerceptualCodec(Codec):
 
 @register("variable-bd", aliases=("varbd",), streaming="variable-bd")
 class VariableBDCostCodec(Codec):
-    """Variable-width Base+Delta (footnote 1): per-group delta widths."""
+    """Variable-width Base+Delta (footnote 1): per-group delta widths.
 
-    def __init__(self, tile_size: int = 4, group_size: int = 4):
+    As with :class:`BDCostCodec`, ``payload=True`` additionally emits
+    the real bitstream (vectorized) as ``metadata["payload"]``,
+    decodable with :class:`repro.encoding.bd_variable.VariableBDCodec`.
+    """
+
+    def __init__(self, tile_size: int = 4, group_size: int = 4, payload: bool = False):
         if tile_size < 1:
             raise ValueError(f"tile_size must be >= 1, got {tile_size}")
         if group_size < 1:
             raise ValueError(f"group_size must be >= 1, got {group_size}")
         self.tile_size = tile_size
         self.group_size = group_size
+        self.payload = payload
 
     def encode(self, ctx: FrameContext) -> EncodedFrame:
         """Cost the frame under per-group variable-width Base+Delta."""
-        tiles, _grid = ctx.tiles(self.tile_size)
+        tiles, grid = ctx.tiles(self.tile_size)
         breakdown = variable_bd_breakdown(tiles, self.group_size, n_pixels=ctx.n_pixels)
+        metadata = {"tile_size": self.tile_size, "group_size": self.group_size}
+        if self.payload:
+            metadata["payload"] = variable_bd_stream_bytes(tiles, grid, self.group_size)
         return EncodedFrame(
             codec=self.name,
             total_bits=breakdown.total_bits,
             n_pixels=ctx.n_pixels,
             breakdown=breakdown,
-            metadata={"tile_size": self.tile_size, "group_size": self.group_size},
+            metadata=metadata,
         )
 
 

@@ -1,7 +1,8 @@
 """Base+Delta framebuffer compression substrate (paper Sec. 2.2).
 
-Tiling, bit-level I/O, the BD codec itself (bit-exact round trip), and
-the size accounting every experiment reports.
+Tiling, bit-level I/O (a per-field reference path plus NumPy-vectorized
+packing kernels), the BD codec itself (bit-exact round trip), and the
+size accounting every experiment reports.
 """
 
 from .accounting import UNCOMPRESSED_BPP, SizeBreakdown
@@ -12,6 +13,7 @@ from .bd import (
     BDCodec,
     EncodedFrame,
     bd_breakdown,
+    bd_stream_bytes,
     delta_widths,
 )
 from .bd_temporal import MODE_FIELD_BITS, TemporalBDAccountant, temporal_delta_widths
@@ -20,8 +22,22 @@ from .bd_variable import (
     VariableEncodedFrame,
     group_delta_widths,
     variable_bd_breakdown,
+    variable_bd_stream_bytes,
 )
 from .bitio import BitReader, BitWriter
+from .packing import (
+    bits_to_bytes,
+    bytes_to_bits,
+    gather_field_runs,
+    gather_fields,
+    pack_fields,
+    pack_segments,
+    scatter_field_runs,
+    scatter_fields,
+    sliding_field_values,
+    unpack_fields,
+    unpack_segments,
+)
 from .tiling import TileGrid, tile_frame, tile_scalar_field, untile_frame
 
 __all__ = [
@@ -33,6 +49,7 @@ __all__ = [
     "BDCodec",
     "EncodedFrame",
     "bd_breakdown",
+    "bd_stream_bytes",
     "delta_widths",
     "MODE_FIELD_BITS",
     "TemporalBDAccountant",
@@ -41,8 +58,20 @@ __all__ = [
     "VariableEncodedFrame",
     "group_delta_widths",
     "variable_bd_breakdown",
+    "variable_bd_stream_bytes",
     "BitReader",
     "BitWriter",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "gather_field_runs",
+    "gather_fields",
+    "pack_fields",
+    "pack_segments",
+    "scatter_field_runs",
+    "scatter_fields",
+    "sliding_field_values",
+    "unpack_fields",
+    "unpack_segments",
     "TileGrid",
     "tile_frame",
     "tile_scalar_field",

@@ -9,6 +9,8 @@ assert they consumed what they produced.
 
 from __future__ import annotations
 
+import numpy as np
+
 __all__ = ["BitWriter", "BitReader"]
 
 
@@ -88,11 +90,19 @@ class BitReader:
             remaining -= take
         return value
 
-    def read_many(self, count: int, width: int) -> list[int]:
-        """Read ``count`` equal-width fields."""
+    def read_many(self, count: int, width: int) -> "np.ndarray":
+        """Read ``count`` equal-width fields into an int64 array.
+
+        Returning an array (rather than a list of Python ints) lets
+        callers apply the fields in bulk — ``base + values`` in the BD
+        decoders adds whole delta runs without allocating per-pixel
+        Python integers.
+        """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
-        return [self.read(width) for _ in range(count)]
+        return np.fromiter(
+            (self.read(width) for _ in range(count)), dtype=np.int64, count=count
+        )
 
     @property
     def bit_position(self) -> int:

@@ -402,11 +402,13 @@ def simulate_adaptive_session(
     else:
         # Encode the whole ladder for each unique frame; long sessions
         # can cycle a short scene loop instead of paying encode cost
-        # per frame.
-        encoder = (
-            perceptual_encoder if perceptual_encoder is not None else PerceptualEncoder()
-        )
-        codecs = [ladder.build_codec(i, encoder) for i in range(len(ladder))]
+        # per frame.  Pass perceptual_encoder through as-is (None
+        # included): the ladder's codec cache is keyed on encoder
+        # identity, so a fresh default encoder per call would defeat
+        # instance reuse across repeated sweeps.
+        codecs = [
+            ladder.build_codec(i, perceptual_encoder) for i in range(len(ladder))
+        ]
         eccentricity = display.eccentricity_map(height, width)
         rung_streams = []
         for index in range(n_unique):

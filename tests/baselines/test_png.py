@@ -68,6 +68,78 @@ class TestFiltering:
         with pytest.raises(ValueError, match="do not match"):
             png_unfilter_rows(np.zeros(2, np.uint8), np.zeros((2, 5), np.uint8), (2, 4, 3))
 
+    def test_unfilter_rejects_unknown_filter_id(self, rng):
+        filtered = rng.integers(0, 256, (3, 12), dtype=np.uint8)
+        ids = np.array([0, 5, 2], dtype=np.uint8)
+        with pytest.raises(ValueError, match="unknown PNG filter id 5"):
+            png_unfilter_rows(ids, filtered, (3, 4, 3))
+
+
+def _reference_filter_rows(frame):
+    """Transcription of the original per-row filter loop (pre-PR 5).
+
+    Retained verbatim so the batched :func:`png_filter_rows` is pinned
+    to the exact same filter choices and residual bytes.
+    """
+    import repro.baselines.png_codec as png
+
+    height, width, channels = frame.shape
+    rows = frame.reshape(height, width * channels).astype(np.int16)
+    filter_ids = np.empty(height, dtype=np.uint8)
+    filtered = np.empty_like(rows, dtype=np.uint8)
+    previous = np.zeros(width * channels, dtype=np.int16)
+    for y in range(height):
+        row = rows[y]
+        left = png._shift_left(row, channels)
+        upleft = png._shift_left(previous, channels)
+        candidates = (
+            row,
+            row - left,
+            row - previous,
+            row - (left + previous) // 2,
+            row - png._paeth_predictor(left, previous, upleft),
+        )
+        encoded = [np.asarray(c, dtype=np.int16) & 0xFF for c in candidates]
+        costs = [int(np.abs(np.where(e > 127, e - 256, e)).sum()) for e in encoded]
+        best = int(np.argmin(costs))
+        filter_ids[y] = best
+        filtered[y] = encoded[best].astype(np.uint8)
+        previous = row
+    return filter_ids, filtered
+
+
+class TestBatchedFilterMatchesReference:
+    def test_scene_frame(self):
+        frame = encode_srgb8(render_scene("office", 48, 48))
+        ref_ids, ref_rows = _reference_filter_rows(frame)
+        ids, rows = png_filter_rows(frame)
+        assert np.array_equal(ids, ref_ids)
+        assert np.array_equal(rows, ref_rows)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_random_frames_property(self, height, width, channels, seed):
+        rng = np.random.default_rng(seed)
+        frame = rng.integers(0, 256, (height, width, channels), dtype=np.uint8)
+        ref_ids, ref_rows = _reference_filter_rows(frame)
+        ids, rows = png_filter_rows(frame)
+        assert np.array_equal(ids, ref_ids)
+        assert np.array_equal(rows, ref_rows)
+        assert np.array_equal(png_unfilter_rows(ids, rows, frame.shape), frame)
+
+    def test_gradient_frames_exercise_up_runs(self):
+        """Vertically constant content picks Up for whole runs — the
+        vectorized accumulate path must still invert exactly."""
+        frame = np.tile(np.arange(48, dtype=np.uint8)[None, :, None] * 5, (24, 1, 3))
+        ids, rows = png_filter_rows(frame)
+        assert (ids[1:] == 2).all()
+        assert np.array_equal(png_unfilter_rows(ids, rows, frame.shape), frame)
+
 
 class TestCodec:
     def test_round_trip_scene(self):

@@ -11,6 +11,7 @@ from repro.encoding.bd import (
     HEADER_BITS,
     WIDTH_FIELD_BITS,
     BDCodec,
+    EncodedFrame,
     bd_breakdown,
     delta_widths,
 )
@@ -117,6 +118,94 @@ class TestCodecRoundTrip:
         frame = rng.integers(0, 256, (height, width, 3), dtype=np.uint8)
         codec = BDCodec(tile_size=tile_size)
         assert np.array_equal(codec.decode(codec.encode(frame)), frame)
+
+
+def _edge_case_frames(rng):
+    """The bitstream edge geometries every BD codec must survive.
+
+    Covers: tile_size=1, frame dims not divisible by the tile size,
+    1x1 frames, all-flat tiles (delta width 0), and max-width (8-bit)
+    deltas.
+    """
+    flat = np.full((16, 16, 3), 127, dtype=np.uint8)
+    maxwidth = np.zeros((16, 16, 3), dtype=np.uint8)
+    maxwidth[::2, ::2] = 255  # range 255 in every tile -> 8-bit deltas
+    return [
+        ("tile_size_1", rng.integers(0, 256, (8, 8, 3), dtype=np.uint8), 1),
+        ("non_divisible", rng.integers(0, 256, (13, 17, 3), dtype=np.uint8), 4),
+        ("one_by_one", rng.integers(0, 256, (1, 1, 3), dtype=np.uint8), 4),
+        ("one_by_one_tile_1", rng.integers(0, 256, (1, 1, 3), dtype=np.uint8), 1),
+        ("all_flat", flat, 4),
+        ("max_width", maxwidth, 4),
+        ("tall_sliver", rng.integers(0, 256, (31, 2, 3), dtype=np.uint8), 8),
+    ]
+
+
+class TestVectorizedMatchesLegacy:
+    """The vectorized kernels must reproduce the legacy bitstream exactly."""
+
+    def test_scene_frame_byte_identical(self):
+        frame = encode_srgb8(render_scene("office", 48, 48))
+        codec = BDCodec(tile_size=4)
+        vectorized = codec.encode(frame)
+        legacy = codec.encode_legacy(frame)
+        assert vectorized.data == legacy.data
+        assert vectorized.breakdown == legacy.breakdown
+
+    def test_edge_geometries_byte_identical_and_round_trip(self, rng):
+        for label, frame, tile_size in _edge_case_frames(rng):
+            codec = BDCodec(tile_size=tile_size)
+            vectorized = codec.encode(frame)
+            legacy = codec.encode_legacy(frame)
+            assert vectorized.data == legacy.data, label
+            assert vectorized.breakdown == legacy.breakdown, label
+            assert np.array_equal(codec.decode(vectorized), frame), label
+            assert np.array_equal(codec.decode_legacy(vectorized), frame), label
+            assert np.array_equal(codec.decode(legacy), frame), label
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=24),
+        st.integers(min_value=1, max_value=24),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_byte_equality_property(self, height, width, tile_size, seed):
+        rng = np.random.default_rng(seed)
+        frame = rng.integers(0, 256, (height, width, 3), dtype=np.uint8)
+        codec = BDCodec(tile_size=tile_size)
+        vectorized = codec.encode(frame)
+        legacy = codec.encode_legacy(frame)
+        assert vectorized.data == legacy.data
+        assert np.array_equal(codec.decode(vectorized), frame)
+        assert np.array_equal(codec.decode_legacy(vectorized), frame)
+
+    def test_truncated_stream_raises_eof(self, rng):
+        frame = rng.integers(0, 256, (8, 8, 3), dtype=np.uint8)
+        codec = BDCodec(tile_size=4)
+        encoded = codec.encode(frame)
+        truncated = EncodedFrame(
+            data=encoded.data[: len(encoded.data) // 2],
+            grid=encoded.grid,
+            breakdown=encoded.breakdown,
+        )
+        with pytest.raises(EOFError, match="exhausted"):
+            codec.decode(truncated)
+        with pytest.raises(EOFError, match="exhausted"):
+            codec.decode_legacy(truncated)
+
+    def test_header_grid_mismatch_raises(self, rng):
+        frame = rng.integers(0, 256, (8, 8, 3), dtype=np.uint8)
+        other = rng.integers(0, 256, (12, 8, 3), dtype=np.uint8)
+        codec = BDCodec(tile_size=4)
+        encoded = codec.encode(frame)
+        mismatched = EncodedFrame(
+            data=codec.encode(other).data,
+            grid=encoded.grid,
+            breakdown=encoded.breakdown,
+        )
+        with pytest.raises(ValueError, match="header disagrees"):
+            codec.decode(mismatched)
 
 
 class TestCodecValidation:

@@ -112,6 +112,68 @@ class TestCodecRoundTrip:
         assert np.array_equal(codec.decode(codec.encode(frame)), frame)
 
 
+class TestVectorizedMatchesLegacy:
+    """Vectorized variable-BD must reproduce the legacy bitstream exactly."""
+
+    def test_edge_geometries_byte_identical_and_round_trip(self, rng):
+        flat = np.full((16, 16, 3), 80, dtype=np.uint8)
+        maxwidth = np.zeros((16, 16, 3), dtype=np.uint8)
+        maxwidth[::2, ::2] = 255
+        cases = [
+            ("tile_size_1", rng.integers(0, 256, (8, 8, 3), dtype=np.uint8), 1, 1),
+            ("non_divisible", rng.integers(0, 256, (13, 17, 3), dtype=np.uint8), 4, 4),
+            ("one_by_one", rng.integers(0, 256, (1, 1, 3), dtype=np.uint8), 4, 2),
+            ("one_by_one_tile_1", rng.integers(0, 256, (1, 1, 3), dtype=np.uint8), 1, 1),
+            ("all_flat", flat, 4, 4),
+            ("max_width", maxwidth, 4, 4),
+            ("whole_tile_group", rng.integers(0, 256, (9, 5, 3), dtype=np.uint8), 4, 16),
+        ]
+        for label, frame, tile_size, group_size in cases:
+            codec = VariableBDCodec(tile_size=tile_size, group_size=group_size)
+            vectorized = codec.encode(frame)
+            legacy = codec.encode_legacy(frame)
+            assert vectorized.data == legacy.data, label
+            assert vectorized.breakdown == legacy.breakdown, label
+            assert np.array_equal(codec.decode(vectorized), frame), label
+            assert np.array_equal(codec.decode_legacy(vectorized), frame), label
+            assert np.array_equal(codec.decode(legacy), frame), label
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=20),
+        st.sampled_from([(1, 1), (2, 2), (4, 2), (4, 4), (4, 16), (3, 9)]),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_byte_equality_property(self, height, width, sizes, seed):
+        tile_size, group_size = sizes
+        rng = np.random.default_rng(seed)
+        frame = rng.integers(0, 256, (height, width, 3), dtype=np.uint8)
+        codec = VariableBDCodec(tile_size=tile_size, group_size=group_size)
+        vectorized = codec.encode(frame)
+        legacy = codec.encode_legacy(frame)
+        assert vectorized.data == legacy.data
+        assert np.array_equal(codec.decode(vectorized), frame)
+        assert np.array_equal(codec.decode_legacy(vectorized), frame)
+
+    def test_truncated_stream_raises_eof(self, rng):
+        from repro.encoding.bd_variable import VariableEncodedFrame
+
+        frame = rng.integers(0, 256, (8, 8, 3), dtype=np.uint8)
+        codec = VariableBDCodec(tile_size=4, group_size=4)
+        encoded = codec.encode(frame)
+        truncated = VariableEncodedFrame(
+            data=encoded.data[: len(encoded.data) // 2],
+            grid=encoded.grid,
+            group_size=encoded.group_size,
+            breakdown=encoded.breakdown,
+        )
+        with pytest.raises(EOFError, match="exhausted"):
+            codec.decode(truncated)
+        with pytest.raises(EOFError, match="exhausted"):
+            codec.decode_legacy(truncated)
+
+
 class TestValidation:
     def test_rejects_indivisible_tile_group_combo(self):
         with pytest.raises(ValueError, match="divisible"):

@@ -87,11 +87,16 @@ class TestBitReader:
         with pytest.raises(ValueError, match="non-negative"):
             BitReader(b"\x00").read(-2)
 
-    def test_read_many(self):
+    def test_read_many_returns_ndarray(self):
+        import numpy as np
+
         writer = BitWriter()
         writer.write_many([3, 1, 2], 2)
         reader = BitReader(writer.getvalue())
-        assert reader.read_many(3, 2) == [3, 1, 2]
+        values = reader.read_many(3, 2)
+        assert isinstance(values, np.ndarray)
+        assert values.dtype == np.int64
+        assert values.tolist() == [3, 1, 2]
 
     def test_read_many_negative_count(self):
         with pytest.raises(ValueError, match="non-negative"):
