@@ -1,0 +1,172 @@
+"""Compare a pytest-benchmark JSON run against the committed baseline.
+
+The bench-smoke CI job measures the kernel microbenchmarks on every
+run (``--benchmark-json``) and this script holds them against the
+newest ``BENCH_<n>.json`` committed at the repository root, failing
+the job when a kernel regresses past the threshold.
+
+Two modes:
+
+* **per-benchmark** (default): every benchmark shared between run and
+  baseline must keep ``new_min <= (1 + threshold) * old_min``.
+  Right for same-machine comparisons, where an individual kernel
+  getting 20% slower is a real regression.
+* **--normalize**: compares the *geometric mean* of the per-benchmark
+  ``new/old`` ratios against the threshold instead.  A different
+  machine shifts every kernel by roughly the same factor, so the
+  geomean moves with true regressions while individual-kernel noise
+  cancels — this is what CI uses, since the baseline JSON was
+  produced on different hardware.
+
+Exit codes: 0 OK (or nothing to compare), 1 regression, 2 usage error.
+
+Usage::
+
+    python benchmarks/compare_bench.py NEW.json [--baseline PATH]
+        [--threshold 0.20] [--normalize]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import re
+import sys
+from pathlib import Path
+
+#: Committed baselines look like BENCH_7.json at the repository root.
+_BASELINE_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def find_baseline(root: Path, exclude: Path | None = None) -> Path | None:
+    """The committed ``BENCH_<n>.json`` with the highest ``n``."""
+    best: tuple[int, Path] | None = None
+    for path in root.glob("BENCH_*.json"):
+        if exclude is not None and path.resolve() == exclude.resolve():
+            continue
+        match = _BASELINE_RE.match(path.name)
+        if match is None:
+            continue
+        number = int(match.group(1))
+        if best is None or number > best[0]:
+            best = (number, path)
+    return None if best is None else best[1]
+
+
+def load_minimums(path: Path) -> dict[str, float]:
+    """Map benchmark fullname -> minimum runtime (seconds).
+
+    ``stats.min`` is the standard choice for regression gating: the
+    minimum over rounds is the least noisy estimate of what the code
+    *can* do, where means absorb scheduler hiccups.
+    """
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    minimums: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        minimum = bench.get("stats", {}).get("min")
+        if name and isinstance(minimum, (int, float)) and minimum > 0:
+            minimums[name] = float(minimum)
+    return minimums
+
+
+def compare(
+    new: dict[str, float],
+    old: dict[str, float],
+    threshold: float,
+    normalize: bool,
+) -> tuple[bool, list[str]]:
+    """Return (ok, report lines) for new-vs-old minimum runtimes."""
+    shared = sorted(set(new) & set(old))
+    if not shared:
+        return True, ["no shared benchmarks between run and baseline; skipping"]
+
+    lines = []
+    ratios = []
+    regressions = []
+    for name in shared:
+        ratio = new[name] / old[name]
+        ratios.append(ratio)
+        flag = ""
+        if not normalize and ratio > 1 + threshold:
+            regressions.append(name)
+            flag = "  <-- REGRESSION"
+        lines.append(
+            f"  {name}: {old[name] * 1e3:.3f} ms -> {new[name] * 1e3:.3f} ms "
+            f"({ratio - 1:+.1%} vs baseline){flag}"
+        )
+
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    lines.append(f"geomean ratio over {len(shared)} benchmarks: {geomean:.3f}")
+
+    if normalize:
+        ok = geomean <= 1 + threshold
+        if not ok:
+            lines.append(
+                f"geomean {geomean:.3f} exceeds 1 + threshold "
+                f"({1 + threshold:.2f}): kernel suite regressed"
+            )
+        return ok, lines
+
+    if regressions:
+        lines.append(
+            f"{len(regressions)} benchmark(s) regressed past "
+            f"{threshold:.0%}: {', '.join(regressions)}"
+        )
+    return not regressions, lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when kernel benchmarks regress past a threshold."
+    )
+    parser.add_argument("new", type=Path, help="pytest-benchmark JSON of this run")
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline JSON (default: newest committed BENCH_<n>.json)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="allowed slowdown fraction (default 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--normalize", action="store_true",
+        help="gate on the geomean ratio instead of per-benchmark ratios "
+             "(for cross-machine comparisons)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.new.is_file():
+        print(f"compare_bench: no such file: {args.new}", file=sys.stderr)
+        return 2
+    if args.threshold <= 0:
+        print("compare_bench: threshold must be positive", file=sys.stderr)
+        return 2
+
+    baseline = args.baseline
+    if baseline is None:
+        baseline = find_baseline(Path(__file__).resolve().parent.parent, args.new)
+        if baseline is None:
+            print("compare_bench: no committed BENCH_<n>.json baseline; skipping")
+            return 0
+    elif not baseline.is_file():
+        print(f"compare_bench: no such baseline: {baseline}", file=sys.stderr)
+        return 2
+
+    new = load_minimums(args.new)
+    old = load_minimums(baseline)
+    mode = "geomean" if args.normalize else "per-benchmark"
+    print(
+        f"comparing {args.new.name} against {baseline.name} "
+        f"({mode}, threshold {args.threshold:.0%})"
+    )
+    ok, lines = compare(new, old, args.threshold, args.normalize)
+    print("\n".join(lines))
+    print("OK" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

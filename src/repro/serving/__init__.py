@@ -1,0 +1,68 @@
+"""A real async streaming server with the engine as its digital twin.
+
+The discrete-event engine (:mod:`repro.streaming.engine`) prices
+adaptive streaming analytically; this package performs the same loop
+over real sockets and measures it:
+
+* :mod:`~repro.serving.protocol` — the pure wire protocol: framed
+  messages, the HELLO/WELCOME handshake, an incremental decoder safe
+  against arbitrary TCP chunking;
+* :mod:`~repro.serving.frames` — :class:`FrameBank`, pre-encoded
+  ladder payloads (real BD bitstreams where available) that double as
+  an engine :class:`~repro.streaming.engine.FrameSource`;
+* :mod:`~repro.serving.server` — the asyncio server: paced frame
+  loops, per-client send-queue backpressure, deadline drops, and live
+  rung selection through the *same*
+  :class:`~repro.streaming.engine.AdaptationState` the simulators use;
+* :mod:`~repro.serving.client` — the load generator: N concurrent
+  connections with trace-shaped read throttling and per-frame ACKs.
+
+``repro serve`` and ``repro loadgen`` expose both ends on the command
+line; reports serialize through :mod:`repro.streaming.reports`, so
+simulated and served metrics diff with the same tooling.
+"""
+
+from .client import LoadgenClientReport, LoadgenConfig, LoadgenReport, run_loadgen
+from .frames import FrameBank, filler_payload
+from .protocol import (
+    MAX_BODY_BYTES,
+    PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
+    Ack,
+    Bye,
+    Frame,
+    Hello,
+    Message,
+    MessageDecoder,
+    ProtocolError,
+    StreamSetup,
+    Welcome,
+    encode_message,
+)
+from .server import ServeConfig, ServedClientReport, ServerReport, StreamServer
+
+__all__ = [
+    "PROTOCOL_MAGIC",
+    "PROTOCOL_VERSION",
+    "MAX_BODY_BYTES",
+    "ProtocolError",
+    "StreamSetup",
+    "Hello",
+    "Welcome",
+    "Frame",
+    "Ack",
+    "Bye",
+    "Message",
+    "encode_message",
+    "MessageDecoder",
+    "FrameBank",
+    "filler_payload",
+    "ServeConfig",
+    "ServedClientReport",
+    "ServerReport",
+    "StreamServer",
+    "LoadgenConfig",
+    "LoadgenClientReport",
+    "LoadgenReport",
+    "run_loadgen",
+]

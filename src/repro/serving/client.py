@@ -1,0 +1,394 @@
+"""The asyncio load generator: N throttled clients against one server.
+
+Each connection is a faithful headset stand-in: it handshakes, reads
+the socket in small chunks, *paces its own consumption* to a
+:class:`~repro.streaming.traces.BandwidthTrace` (the live equivalent
+of the simulator's traced link), and acknowledges every frame at the
+moment its last byte would have arrived over that channel.  The
+server's measured-goodput feedback loop therefore sees the configured
+channel, not the loopback's gigabits.
+
+Throttling is a virtual-clock construction: ``virt`` tracks when the
+emulated channel would have finished delivering everything read so
+far.  Each chunk advances it by the chunk's drain time *from the later
+of the channel's previous finish or the chunk's actual arrival* — an
+idle channel doesn't bank credit — and the client sleeps until the
+virtual finish before processing the bytes, so ACKs fire at emulated
+delivery times.
+
+Per-connection outcomes are
+:class:`~repro.streaming.server.ClientReport`-compatible (same frame
+rows, same aggregates), so loadgen output, server reports, and
+simulator fleets all diff with the same tooling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..streaming.engine import FrameTiming
+from ..streaming.server import ClientReport
+from ..streaming.traces import BandwidthTrace
+from .protocol import (
+    Ack,
+    Bye,
+    Frame,
+    Hello,
+    MessageDecoder,
+    ProtocolError,
+    StreamSetup,
+    Welcome,
+    encode_message,
+)
+
+__all__ = ["LoadgenConfig", "LoadgenClientReport", "LoadgenReport", "run_loadgen"]
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load-generation run against a streaming server.
+
+    Attributes
+    ----------
+    host, port:
+        Where the server listens.
+    setup:
+        The :class:`~repro.serving.protocol.StreamSetup` every client
+        requests.
+    n_clients:
+        Concurrent connections.
+    trace:
+        Read-throttle :class:`~repro.streaming.traces.BandwidthTrace`
+        per client; ``None`` reads at loopback speed.
+    chunk_bytes:
+        Socket read size; smaller chunks give the throttle finer
+        pacing granularity at more wakeups.
+    connect_stagger_s:
+        Delay between successive connection openings, avoiding a
+        thundering-herd handshake.
+    timeout_s:
+        Per-connection overall timeout (handshake through BYE); a
+        connection past it reports what it has.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    setup: StreamSetup = field(default_factory=lambda: StreamSetup(scene="office"))
+    n_clients: int = 1
+    trace: BandwidthTrace | None = None
+    chunk_bytes: int = 4096
+    connect_stagger_s: float = 0.002
+    timeout_s: float = 60.0
+
+    def __post_init__(self):
+        if self.n_clients < 1:
+            raise ValueError(f"n_clients must be >= 1, got {self.n_clients}")
+        if self.chunk_bytes < 64:
+            raise ValueError(f"chunk_bytes must be >= 64, got {self.chunk_bytes}")
+        if self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+
+
+@dataclass(frozen=True)
+class LoadgenClientReport(ClientReport):
+    """One loadgen connection's view of its stream.
+
+    Frame rows measure what the *client* saw: ``serialization_time_s``
+    is the spacing between consecutive frame deliveries (consumption
+    pace) and ``transmit_time_s`` is delivery time minus the server's
+    stamped ready time.
+
+    Attributes
+    ----------
+    protocol_errors:
+        Wire-protocol violations observed by this client.
+    bytes_received:
+        Total bytes read off the socket.
+    completed:
+        Whether the stream ended with the server's BYE (as opposed to
+        a timeout or connection error).
+    """
+
+    protocol_errors: int = 0
+    bytes_received: int = 0
+    completed: bool = False
+
+
+@dataclass(frozen=True)
+class LoadgenReport:
+    """Aggregate outcome of one load-generation run."""
+
+    clients: tuple[LoadgenClientReport, ...]
+    duration_s: float = 0.0
+
+    @property
+    def n_clients(self) -> int:
+        """Connections attempted."""
+        return len(self.clients)
+
+    @property
+    def frames_received(self) -> int:
+        """Fully delivered frames across every connection."""
+        return sum(len(r.frames) for r in self.clients)
+
+    @property
+    def bytes_received(self) -> int:
+        """Total bytes read across every connection."""
+        return sum(r.bytes_received for r in self.clients)
+
+    @property
+    def protocol_errors(self) -> int:
+        """Wire-protocol violations across every connection."""
+        return sum(r.protocol_errors for r in self.clients)
+
+    @property
+    def completed_clients(self) -> int:
+        """Connections that ended with the server's BYE."""
+        return sum(r.completed for r in self.clients)
+
+    def tail_latency_s(self, percentile: float = 95.0) -> float:
+        """Client-observed delivery-latency percentile across frames."""
+        if not 0 < percentile <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        latencies = [f.transmit_time_s for r in self.clients for f in r.frames]
+        if not latencies:
+            return 0.0
+        return float(np.percentile(latencies, percentile))
+
+    def summary(self) -> str:
+        """One-line loadgen outcome readout."""
+        goodput = 0.0
+        if self.duration_s > 0:
+            goodput = 8 * self.bytes_received / self.duration_s / 1e6
+        return (
+            f"{self.completed_clients}/{self.n_clients} clients completed | "
+            f"{self.frames_received} frames | "
+            f"{self.bytes_received / 2**20:.1f} MiB "
+            f"({goodput:.1f} Mbps aggregate) | "
+            f"{self.protocol_errors} protocol errors | "
+            f"p95 delivery latency {self.tail_latency_s(95.0) * 1e3:.2f} ms"
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialize through :mod:`repro.streaming.reports`."""
+        from ..streaming.reports import report_to_json
+
+        return report_to_json(self, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "LoadgenReport":
+        """Load a report serialized by :meth:`to_json`."""
+        from ..streaming.reports import report_from_json
+
+        report = report_from_json(text)
+        if not isinstance(report, cls):
+            raise TypeError(
+                f"payload decodes to {type(report).__name__}, not {cls.__name__}"
+            )
+        return report
+
+
+async def _run_connection(config: LoadgenConfig, index: int) -> LoadgenClientReport:
+    """One client: connect, handshake, consume at the traced pace."""
+    name = f"loadgen-{index}"
+    setup = config.setup
+    timings: list[FrameTiming] = []
+    protocol_errors = 0
+    bytes_received = 0
+    completed = False
+    ladder: tuple[str, ...] = ()
+
+    def report() -> LoadgenClientReport:
+        return LoadgenClientReport(
+            encoder="loadgen",
+            frames=list(timings),
+            target_fps=setup.target_fps,
+            name=name,
+            scene=setup.scene,
+            protocol_errors=protocol_errors,
+            bytes_received=bytes_received,
+            completed=completed,
+        )
+
+    try:
+        reader, writer = await asyncio.open_connection(config.host, config.port)
+    except (ConnectionError, OSError):
+        return report()
+
+    loop = asyncio.get_running_loop()
+    try:
+        async with asyncio.timeout(config.timeout_s):
+            writer.write(
+                encode_message(Hello(setup=setup, client_name=name))
+            )
+            await writer.drain()
+
+            decoder = MessageDecoder()
+            trace = config.trace
+            t0 = loop.time()
+            virt = 0.0  # emulated-channel finish time of all bytes so far
+            got_welcome = False
+            last_delivery_s = 0.0
+
+            while True:
+                data = await reader.read(config.chunk_bytes)
+                if not data:
+                    break
+                bytes_received += len(data)
+                if trace is not None:
+                    arrival_s = loop.time() - t0
+                    virt = max(virt, arrival_s)
+                    virt = trace.finish_time_s(virt, 8 * len(data))
+                    delay = (t0 + virt) - loop.time()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                    delivery_s = virt
+                else:
+                    delivery_s = loop.time() - t0
+                try:
+                    messages = decoder.feed(data)
+                except ProtocolError:
+                    protocol_errors += 1
+                    break
+                done = False
+                for message in messages:
+                    if isinstance(message, Welcome):
+                        if got_welcome:
+                            protocol_errors += 1
+                        got_welcome = True
+                        ladder = message.ladder
+                    elif isinstance(message, Frame):
+                        rung_name = (
+                            ladder[message.rung]
+                            if message.rung < len(ladder)
+                            else str(message.rung)
+                        )
+                        timings.append(
+                            FrameTiming(
+                                frame_index=message.frame_index,
+                                payload_bits=8 * len(message.payload),
+                                encode_time_s=0.0,
+                                serialization_time_s=max(
+                                    0.0, delivery_s - last_delivery_s
+                                ),
+                                transmit_time_s=max(
+                                    0.0, delivery_s - message.ready_time_s
+                                ),
+                                rung=rung_name,
+                            )
+                        )
+                        last_delivery_s = delivery_s
+                        writer.write(
+                            encode_message(
+                                Ack(
+                                    frame_index=message.frame_index,
+                                    recv_time_s=delivery_s,
+                                )
+                            )
+                        )
+                        await writer.drain()
+                    elif isinstance(message, Bye):
+                        completed = True
+                        done = True
+                    else:
+                        protocol_errors += 1
+                if done:
+                    break
+            if completed:
+                try:
+                    writer.write(encode_message(Bye(reason="complete")))
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+    except TimeoutError:
+        pass
+    except (ConnectionError, OSError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return report()
+
+
+async def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
+    """Run ``n_clients`` concurrent connections; aggregate their reports."""
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+
+    async def staggered(index: int) -> LoadgenClientReport:
+        if config.connect_stagger_s > 0 and index:
+            await asyncio.sleep(index * config.connect_stagger_s)
+        return await _run_connection(config, index)
+
+    reports = await asyncio.gather(
+        *(staggered(index) for index in range(config.n_clients))
+    )
+    return LoadgenReport(
+        clients=tuple(reports), duration_s=loop.time() - started
+    )
+
+
+def _loadgen_client_to_dict(report: LoadgenClientReport) -> dict[str, Any]:
+    from ..streaming.reports import _client_to_dict
+
+    return {
+        **_client_to_dict(report),
+        "protocol_errors": report.protocol_errors,
+        "bytes_received": report.bytes_received,
+        "completed": report.completed,
+    }
+
+
+def _loadgen_client_from_dict(data: dict[str, Any]) -> LoadgenClientReport:
+    from ..streaming.reports import adaptive_stats_from_dict, frame_timing_from_dict
+
+    return LoadgenClientReport(
+        encoder=str(data["encoder"]),
+        target_fps=float(data["target_fps"]),
+        frames=[frame_timing_from_dict(f) for f in data["frames"]],
+        name=str(data["name"]),
+        scene=str(data["scene"]),
+        weight=float(data.get("weight", 1.0)),
+        adaptive=adaptive_stats_from_dict(data.get("adaptive")),
+        protocol_errors=int(data.get("protocol_errors", 0)),
+        bytes_received=int(data.get("bytes_received", 0)),
+        completed=bool(data.get("completed", False)),
+    )
+
+
+def _loadgen_report_to_dict(report: LoadgenReport) -> dict[str, Any]:
+    return {
+        "clients": [_loadgen_client_to_dict(c) for c in report.clients],
+        "duration_s": report.duration_s,
+    }
+
+
+def _loadgen_report_from_dict(data: dict[str, Any]) -> LoadgenReport:
+    return LoadgenReport(
+        clients=tuple(_loadgen_client_from_dict(c) for c in data["clients"]),
+        duration_s=float(data.get("duration_s", 0.0)),
+    )
+
+
+def _register_report_types() -> None:
+    from ..streaming.reports import register_report_type
+
+    register_report_type(
+        "loadgen-client",
+        LoadgenClientReport,
+        _loadgen_client_to_dict,
+        _loadgen_client_from_dict,
+    )
+    register_report_type(
+        "loadgen", LoadgenReport, _loadgen_report_to_dict, _loadgen_report_from_dict
+    )
+
+
+_register_report_types()

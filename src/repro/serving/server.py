@@ -1,0 +1,777 @@
+"""The asyncio streaming server: the engine's loop on real sockets.
+
+This is the system half of the digital twin.  The discrete-event
+engine *prices* a stream — frames ready on an interval clock, a rate
+controller picking rungs, payloads draining through a link — and this
+server *performs* it: an asyncio TCP accept loop, one paced frame loop
+per connection, length-prefixed :class:`~repro.serving.protocol.Frame`
+messages on the wire, and per-client backpressure with deadline-based
+frame dropping where the simulator would grow a backlog without bound.
+
+The adaptation loop is **literally the engine's**: each connection
+owns an :class:`~repro.streaming.engine.AdaptationState` driving the
+same :class:`~repro.streaming.adaptive.RateController` policies, with
+one substitution — where the simulator records the link model's
+computed drain time, the server records the *measured* one.  A frame's
+drain is the time from when the channel got free (``max(send time,
+previous ACK)``) to its ACK arrival, which is robust to kernel TCP
+buffering: writes complete long before bytes reach a throttled
+client, but ACKs arrive at consumption pace, so consecutive-ACK
+spacing measures true goodput.
+
+Rung *choices* stay deterministic across sim and server because the
+PHY-rate input to the controller is evaluated from the configured
+:class:`~repro.streaming.traces.BandwidthTrace` at **session time**
+(``k * interval``), not wall time — measured feedback adjusts the
+goodput EWMA, the clamp that dominates rung selection follows the
+trace, and `tests/test_serving_twin.py` holds the two paths to the
+same switch sequence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..streaming.adaptive import get_controller
+from ..streaming.engine import AdaptationState, FrameTiming
+from ..streaming.server import ClientReport
+from ..streaming.traces import BandwidthTrace
+from ..streaming.validation import validate_stream_timing
+from .frames import FrameBank
+from .protocol import (
+    PROTOCOL_VERSION,
+    Ack,
+    Bye,
+    Frame,
+    Hello,
+    MessageDecoder,
+    ProtocolError,
+    Welcome,
+    encode_message,
+)
+
+__all__ = ["ServeConfig", "ServedClientReport", "ServerReport", "StreamServer"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a :class:`StreamServer` needs to run.
+
+    Attributes
+    ----------
+    bank:
+        The pre-encoded :class:`~repro.serving.frames.FrameBank` every
+        connection streams from.
+    host, port:
+        Bind address; port ``0`` picks a free one (read it back from
+        :attr:`StreamServer.port` after start).
+    nominal_bandwidth_mbps:
+        PHY rate reported to controllers when no trace is configured.
+    phy_trace:
+        Optional :class:`~repro.streaming.traces.BandwidthTrace` the
+        per-connection PHY-rate hint follows, evaluated at session
+        time — the live analog of a traced
+        :class:`~repro.streaming.link.WirelessLink`.
+    deadline_s:
+        A frame still queued this long after its ready time is dropped
+        instead of sent (late frames are worthless to a head-mounted
+        display).  ``None`` never drops.
+    queue_frames:
+        Per-client send-queue capacity, in frames; a full queue drops
+        the *new* frame at enqueue (counted separately from deadline
+        drops).
+    drain_grace_s:
+        How long shutdown and stream completion wait for outstanding
+        ACKs before closing anyway.
+    handshake_timeout_s:
+        How long a fresh connection may take to present a valid HELLO.
+    write_buffer_bytes:
+        Transport write-buffer high-water mark.  Small values make
+        ``drain()`` exert backpressure promptly instead of buffering
+        megabytes in user space; ``None`` keeps asyncio's default.
+    max_frames:
+        Upper clamp on a client's requested stream length.
+    """
+
+    bank: FrameBank
+    host: str = "127.0.0.1"
+    port: int = 0
+    nominal_bandwidth_mbps: float = 400.0
+    phy_trace: BandwidthTrace | None = None
+    deadline_s: float | None = 0.25
+    queue_frames: int = 32
+    drain_grace_s: float = 2.0
+    handshake_timeout_s: float = 5.0
+    write_buffer_bytes: int | None = 65536
+    max_frames: int = 100_000
+
+    def __post_init__(self):
+        if self.nominal_bandwidth_mbps <= 0:
+            raise ValueError(
+                f"nominal_bandwidth_mbps must be positive, "
+                f"got {self.nominal_bandwidth_mbps}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {self.deadline_s}")
+        if self.queue_frames < 1:
+            raise ValueError(f"queue_frames must be >= 1, got {self.queue_frames}")
+        if self.max_frames < 1:
+            raise ValueError(f"max_frames must be >= 1, got {self.max_frames}")
+
+    def link_bps_at(self, time_s: float) -> float:
+        """The PHY-rate hint a controller sees at session time ``time_s``."""
+        if self.phy_trace is not None:
+            return self.phy_trace.bandwidth_mbps_at(time_s) * 1e6
+        return self.nominal_bandwidth_mbps * 1e6
+
+
+@dataclass(frozen=True)
+class ServedClientReport(ClientReport):
+    """One connection's outcome, in the fleet report's vocabulary.
+
+    A :class:`~repro.streaming.server.ClientReport` — same frame rows,
+    same aggregate properties, same adaptation telemetry — plus the
+    counters only a real transport has.
+
+    Attributes
+    ----------
+    deadline_drops:
+        Frames dropped because they were still queued past their
+        deadline.
+    queue_drops:
+        Frames dropped at enqueue because the send queue was full.
+    protocol_errors:
+        Wire-protocol violations observed on this connection.
+    bytes_sent:
+        Total bytes written to the socket (payloads and framing).
+    """
+
+    deadline_drops: int = 0
+    queue_drops: int = 0
+    protocol_errors: int = 0
+    bytes_sent: int = 0
+
+    @property
+    def dropped_frames(self) -> int:
+        """Frames dropped for any reason."""
+        return self.deadline_drops + self.queue_drops
+
+
+@dataclass(frozen=True)
+class ServerReport:
+    """Aggregate outcome of a serving run — the live FleetReport.
+
+    Mirrors :class:`~repro.streaming.server.FleetReport` where the
+    concepts coincide (clients, tail latency, stalls, quality) and
+    adds what only a real server has: drop and protocol-error
+    counters, wall-clock duration, rung occupancy measured from actual
+    transmissions.
+    """
+
+    clients: tuple[ServedClientReport, ...]
+    ladder: tuple[str, ...]
+    duration_s: float = 0.0
+    scene: str = ""
+
+    @property
+    def n_clients(self) -> int:
+        """Connections that completed a handshake."""
+        return len(self.clients)
+
+    @property
+    def frames_sent(self) -> int:
+        """Delivered (ACKed) frames across every client."""
+        return sum(len(r.frames) for r in self.clients)
+
+    @property
+    def deadline_drops(self) -> int:
+        """Summed deadline drops across clients."""
+        return sum(r.deadline_drops for r in self.clients)
+
+    @property
+    def queue_drops(self) -> int:
+        """Summed queue-full drops across clients."""
+        return sum(r.queue_drops for r in self.clients)
+
+    @property
+    def dropped_frames(self) -> int:
+        """Frames dropped for any reason, across clients."""
+        return self.deadline_drops + self.queue_drops
+
+    @property
+    def protocol_errors(self) -> int:
+        """Summed wire-protocol violations across clients."""
+        return sum(r.protocol_errors for r in self.clients)
+
+    @property
+    def total_stall_time_s(self) -> float:
+        """Summed stall time across adaptive clients."""
+        return float(
+            sum(r.adaptive.stall_time_s for r in self.clients if r.adaptive is not None)
+        )
+
+    def tail_latency_s(self, percentile: float = 95.0) -> float:
+        """Motion-to-photon latency percentile across delivered frames."""
+        if not 0 < percentile <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        latencies = [f.motion_to_photon_s for r in self.clients for f in r.frames]
+        if not latencies:
+            return 0.0
+        return float(np.percentile(latencies, percentile))
+
+    @property
+    def rung_occupancy(self) -> dict[str, float]:
+        """Fraction of delivered frames transmitted at each rung."""
+        counts: dict[str, int] = {}
+        total = 0
+        for report in self.clients:
+            for timing in report.frames:
+                if timing.rung:
+                    counts[timing.rung] = counts.get(timing.rung, 0) + 1
+                    total += 1
+        if total == 0:
+            return {}
+        return {name: counts.get(name, 0) / total for name in self.ladder}
+
+    def summary(self) -> str:
+        """One-line serving health readout."""
+        occupancy = ", ".join(
+            f"{name}:{share:.2f}" for name, share in self.rung_occupancy.items()
+        )
+        return (
+            f"{self.n_clients} clients | {self.frames_sent} frames | "
+            f"{self.dropped_frames} dropped "
+            f"({self.deadline_drops} deadline, {self.queue_drops} queue) | "
+            f"{self.protocol_errors} protocol errors | "
+            f"p95 latency {self.tail_latency_s(95.0) * 1e3:.2f} ms | "
+            f"stall {self.total_stall_time_s * 1e3:.1f} ms | "
+            f"rungs [{occupancy}]"
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialize through :mod:`repro.streaming.reports`."""
+        from ..streaming.reports import report_to_json
+
+        return report_to_json(self, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServerReport":
+        """Load a report serialized by :meth:`to_json`."""
+        from ..streaming.reports import report_from_json
+
+        report = report_from_json(text)
+        if not isinstance(report, cls):
+            raise TypeError(
+                f"payload decodes to {type(report).__name__}, not {cls.__name__}"
+            )
+        return report
+
+
+class _QueuedFrame:
+    """One frame waiting in a connection's send queue."""
+
+    __slots__ = ("frame_index", "rung", "ready_s", "payload_bits", "payload")
+
+    def __init__(self, frame_index, rung, ready_s, payload_bits, payload):
+        self.frame_index = frame_index
+        self.rung = rung
+        self.ready_s = ready_s
+        self.payload_bits = payload_bits
+        self.payload = payload
+
+
+class _Connection:
+    """Per-client serving state: pacer, sender, ACK reader.
+
+    Three coroutines per connection:
+
+    * the **pacer** (the connection handler itself) wakes every frame
+      interval, asks the :class:`AdaptationState` for a rung exactly as
+      the engine's solo path does, and enqueues the frame — dropping it
+      if the queue is full;
+    * the **sender** drains the queue onto the socket, dropping frames
+      whose deadline passed while they waited (that wait *is* the
+      backpressure signal: a throttled client fills the transport
+      buffer, ``drain()`` blocks, the queue backs up);
+    * the **ACK reader** turns acknowledgement arrival times into
+      measured drain samples and replays them into the adaptation
+      state strictly in frame order, so the feedback loop sees the same
+      ordering the simulator guarantees by construction.
+    """
+
+    def __init__(
+        self,
+        server: "StreamServer",
+        session: str,
+        hello: Hello,
+        writer: asyncio.StreamWriter,
+    ):
+        config = server.config
+        bank = config.bank
+        setup = hello.setup
+        validate_stream_timing(
+            n_frames=setup.n_frames, target_fps=setup.target_fps
+        )
+        controller = get_controller(setup.controller)
+        ladder = bank.ladder
+        start = 0 if setup.start_rung is None else ladder.index_of(setup.start_rung)
+        self.server = server
+        self.config = config
+        self.bank = bank
+        self.setup = setup
+        self.session = session
+        self.name = hello.client_name or session
+        self.writer = writer
+        self.interval_s = 1.0 / setup.target_fps
+        self.n_frames = min(setup.n_frames, config.max_frames)
+        self.state = AdaptationState(controller, ladder, start, self.interval_s)
+        self.controller_name = controller.name
+        self.queue: asyncio.Queue[_QueuedFrame | None] = asyncio.Queue(
+            maxsize=config.queue_frames
+        )
+        self.epoch: float = 0.0  # loop.time() at session start
+        self.send_time_s: dict[int, float] = {}  # frame -> session send time
+        self.chosen: dict[int, tuple[int, int]] = {}  # frame -> (rung, bits)
+        self.last_ack_s = 0.0
+        self.timings: list[FrameTiming] = []
+        self.deadline_drops = 0
+        self.queue_drops = 0
+        self.protocol_errors = 0
+        self.bytes_sent = 0
+        self.client_gone = asyncio.Event()
+        self.acked = 0  # frames whose ACK has arrived
+        self.sent = 0  # frames actually written
+        # In-order record replay (ACKs for sent frames arrive in order,
+        # but drop records originate in the pacer/sender and may lap
+        # them).
+        self._pending_records: dict[int, tuple[int, int, float, float | None]] = {}
+        self._next_record = 0
+
+    # -- session clock --------------------------------------------------
+
+    def now_s(self) -> float:
+        """Session time: seconds since this connection's first frame."""
+        return asyncio.get_running_loop().time() - self.epoch
+
+    # -- adaptation-state bookkeeping -----------------------------------
+
+    def _push_record(
+        self, frame_index: int, payload_bits: int, drain_s: float, ack_s: float | None
+    ) -> None:
+        """Queue one frame's outcome; replay any in-order prefix."""
+        rung, _ = self.chosen[frame_index]
+        self._pending_records[frame_index] = (rung, payload_bits, drain_s, ack_s)
+        while self._next_record in self._pending_records:
+            rung, bits, drain, ack = self._pending_records.pop(self._next_record)
+            self.state.record(bits, drain, rung=rung)
+            if ack is not None:
+                ready_s = self._next_record * self.interval_s
+                self.timings.append(
+                    FrameTiming(
+                        frame_index=self._next_record,
+                        payload_bits=bits,
+                        encode_time_s=self.bank.encode_time_s,
+                        serialization_time_s=drain,
+                        transmit_time_s=max(0.0, ack - ready_s),
+                        rung=self.state.ladder[rung].name,
+                    )
+                )
+            self._next_record += 1
+
+    def _drop(self, frame: _QueuedFrame, *, deadline: bool) -> None:
+        """Account one dropped frame (zero bits moved, interval passed)."""
+        if deadline:
+            self.deadline_drops += 1
+        else:
+            self.queue_drops += 1
+        self._push_record(frame.frame_index, 0, 0.0, None)
+
+    # -- coroutines -----------------------------------------------------
+
+    async def pace(self) -> None:
+        """The frame clock: choose a rung and enqueue, every interval."""
+        loop = asyncio.get_running_loop()
+        self.epoch = loop.time()
+        for frame_index in range(self.n_frames):
+            if self.client_gone.is_set():
+                break
+            ready_s = frame_index * self.interval_s
+            delay = self.epoch + ready_s - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            rung_bits = self.bank.rung_bits(frame_index)
+            # The PHY hint is evaluated at *session* time, so the
+            # controller's clamp input is identical to the simulator's
+            # whatever the wall clock did.
+            rung = self.state.choose(
+                frame_index, ready_s, rung_bits, self.config.link_bps_at(ready_s)
+            )
+            frame = _QueuedFrame(
+                frame_index=frame_index,
+                rung=rung,
+                ready_s=ready_s,
+                payload_bits=rung_bits[rung],
+                payload=self.bank.payload(frame_index, rung),
+            )
+            self.chosen[frame_index] = (rung, rung_bits[rung])
+            try:
+                self.queue.put_nowait(frame)
+            except asyncio.QueueFull:
+                self._drop(frame, deadline=False)
+        await self.queue.put(None)  # sender sentinel
+
+    async def send(self) -> None:
+        """Drain the queue to the socket, dropping past-deadline frames."""
+        deadline_s = self.config.deadline_s
+        while True:
+            frame = await self.queue.get()
+            if frame is None:
+                return
+            if self.client_gone.is_set():
+                self._drop(frame, deadline=True)
+                continue
+            if deadline_s is not None and self.now_s() > frame.ready_s + deadline_s:
+                self._drop(frame, deadline=True)
+                continue
+            message = Frame(
+                frame_index=frame.frame_index,
+                rung=frame.rung,
+                ready_time_s=frame.ready_s,
+                payload=frame.payload,
+            )
+            wire = encode_message(message)
+            self.send_time_s[frame.frame_index] = self.now_s()
+            try:
+                self.writer.write(wire)
+                await self.writer.drain()
+            except (ConnectionError, OSError):
+                self.client_gone.set()
+                self._drop(frame, deadline=True)
+                continue
+            self.bytes_sent += len(wire)
+            self.sent += 1
+
+    async def read(self, reader: asyncio.StreamReader) -> None:
+        """Consume ACKs (and a possible client BYE) off the socket."""
+        decoder = MessageDecoder()
+        try:
+            while not reader.at_eof():
+                data = await reader.read(4096)
+                if not data:
+                    break
+                for message in decoder.iter_feed(data):
+                    if isinstance(message, Ack):
+                        self._on_ack(message)
+                    elif isinstance(message, Bye):
+                        self.client_gone.set()
+                        return
+                    else:
+                        self.protocol_errors += 1
+        except ProtocolError:
+            self.protocol_errors += 1
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self.client_gone.set()
+
+    def _on_ack(self, ack: Ack) -> None:
+        send_s = self.send_time_s.pop(ack.frame_index, None)
+        chosen = self.chosen.get(ack.frame_index)
+        if send_s is None or chosen is None:
+            self.protocol_errors += 1  # ACK for a frame never sent
+            return
+        ack_s = self.now_s()
+        # The channel was busy until the previous ACK: measure this
+        # frame's drain from whichever came later, its own send or the
+        # previous frame's completion — the live twin of the engine's
+        # queue-behind-backlog serialization pricing.
+        drain_s = max(1e-9, ack_s - max(send_s, self.last_ack_s))
+        self.last_ack_s = ack_s
+        self.acked += 1
+        self._push_record(ack.frame_index, chosen[1], drain_s, ack_s)
+
+    # -- report ---------------------------------------------------------
+
+    def report(self) -> ServedClientReport:
+        """Freeze this connection's outcome."""
+        return ServedClientReport(
+            encoder=f"serving:{self.controller_name}",
+            frames=list(self.timings),
+            target_fps=self.setup.target_fps,
+            name=self.name,
+            scene=self.setup.scene,
+            weight=1.0,
+            adaptive=self.state.stats(),
+            deadline_drops=self.deadline_drops,
+            queue_drops=self.queue_drops,
+            protocol_errors=self.protocol_errors,
+            bytes_sent=self.bytes_sent,
+        )
+
+
+class StreamServer:
+    """Asyncio TCP server streaming a :class:`FrameBank` to clients.
+
+    Lifecycle::
+
+        server = StreamServer(config)
+        await server.start()          # binds; server.port is now real
+        ...                           # clients connect and stream
+        report = await server.stop()  # graceful drain, aggregate report
+
+    Each accepted connection handshakes
+    (:class:`~repro.serving.protocol.Hello` in,
+    :class:`~repro.serving.protocol.Welcome` out), then runs the
+    pacer/sender/ACK-reader trio until the stream completes, the
+    client leaves, or the server drains.  Connection outcomes
+    accumulate into the :class:`ServerReport` whether they ended
+    cleanly or not.
+    """
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self._server: asyncio.AbstractServer | None = None
+        self._sessions = itertools.count(1)
+        self._active: set[asyncio.Task] = set()
+        self._finished: list[ServedClientReport] = []
+        self._handshake_errors = 0
+        self._started_at: float = 0.0
+        self._stopping = False
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with a ``port=0`` config)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle, host=self.config.host, port=self.config.port
+        )
+        self._started_at = asyncio.get_running_loop().time()
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (pair with :meth:`stop`)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        await self._server.serve_forever()
+
+    async def stop(self) -> ServerReport:
+        """Graceful drain: stop accepting, let streams finish, report.
+
+        Active connections get up to ``drain_grace_s`` to finish their
+        in-flight frames; stragglers are cancelled with a
+        :class:`~repro.serving.protocol.Bye` on the way out.
+        """
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._active:
+            done, pending = await asyncio.wait(
+                self._active, timeout=self.config.drain_grace_s
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        return self.report()
+
+    def report(self) -> ServerReport:
+        """The aggregate outcome so far (finished connections only)."""
+        duration = 0.0
+        if self._started_at:
+            try:
+                duration = asyncio.get_running_loop().time() - self._started_at
+            except RuntimeError:
+                duration = 0.0
+        return ServerReport(
+            clients=tuple(self._finished),
+            ladder=self.config.bank.ladder.names,
+            duration_s=duration,
+            scene=self.config.bank.scene_name,
+        )
+
+    # -- connection handling --------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._active.add(task)
+            task.add_done_callback(self._active.discard)
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # noqa: BLE001 - one bad client must not kill the server
+            self._handshake_errors += 1
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_hello(self, reader: asyncio.StreamReader) -> Hello:
+        decoder = MessageDecoder()
+        async with asyncio.timeout(self.config.handshake_timeout_s):
+            while True:
+                data = await reader.read(4096)
+                if not data:
+                    raise ProtocolError("connection closed before HELLO")
+                for message in decoder.iter_feed(data):
+                    if isinstance(message, Hello):
+                        return message
+                    raise ProtocolError(
+                        f"expected HELLO, got {type(message).__name__}"
+                    )
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        config = self.config
+        if config.write_buffer_bytes is not None:
+            writer.transport.set_write_buffer_limits(high=config.write_buffer_bytes)
+        session = f"session-{next(self._sessions)}"
+        try:
+            hello = await self._read_hello(reader)
+        except (ProtocolError, TimeoutError):
+            self._handshake_errors += 1
+            return
+
+        def reject(reason: str) -> None:
+            writer.write(encode_message(Bye(reason=reason)))
+
+        if hello.version != PROTOCOL_VERSION:
+            self._handshake_errors += 1
+            reject(f"unsupported protocol version {hello.version}")
+            return
+        bank = config.bank
+        if bank.scene_name and hello.setup.scene != bank.scene_name:
+            self._handshake_errors += 1
+            reject(
+                f"scene {hello.setup.scene!r} not served "
+                f"(bank holds {bank.scene_name!r})"
+            )
+            return
+        try:
+            connection = _Connection(self, session, hello, writer)
+        except (ValueError, KeyError) as exc:
+            self._handshake_errors += 1
+            reject(f"bad stream setup: {exc}")
+            return
+
+        writer.write(
+            encode_message(
+                Welcome(
+                    ladder=bank.ladder.names,
+                    interval_s=connection.interval_s,
+                    n_frames=connection.n_frames,
+                    session=session,
+                )
+            )
+        )
+        await writer.drain()
+
+        reader_task = asyncio.create_task(connection.read(reader))
+        sender_task = asyncio.create_task(connection.send())
+        try:
+            await connection.pace()
+            await sender_task
+            # Give in-flight frames a grace window to be consumed and
+            # acknowledged before declaring the stream over.
+            deadline = asyncio.get_running_loop().time() + config.drain_grace_s
+            while (
+                connection.acked + connection.deadline_drops + connection.queue_drops
+                < connection.n_frames
+                and not connection.client_gone.is_set()
+                and asyncio.get_running_loop().time() < deadline
+            ):
+                await asyncio.sleep(0.01)
+            try:
+                writer.write(encode_message(Bye(reason="complete")))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            for task in (sender_task, reader_task):
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(sender_task, reader_task, return_exceptions=True)
+            self._finished.append(connection.report())
+
+
+def _served_client_to_dict(report: ServedClientReport) -> dict[str, Any]:
+    from ..streaming.reports import _client_to_dict
+
+    return {
+        **_client_to_dict(report),
+        "deadline_drops": report.deadline_drops,
+        "queue_drops": report.queue_drops,
+        "protocol_errors": report.protocol_errors,
+        "bytes_sent": report.bytes_sent,
+    }
+
+
+def _served_client_from_dict(data: dict[str, Any]) -> ServedClientReport:
+    from ..streaming.reports import adaptive_stats_from_dict, frame_timing_from_dict
+
+    return ServedClientReport(
+        encoder=str(data["encoder"]),
+        target_fps=float(data["target_fps"]),
+        frames=[frame_timing_from_dict(f) for f in data["frames"]],
+        name=str(data["name"]),
+        scene=str(data["scene"]),
+        weight=float(data.get("weight", 1.0)),
+        adaptive=adaptive_stats_from_dict(data.get("adaptive")),
+        deadline_drops=int(data.get("deadline_drops", 0)),
+        queue_drops=int(data.get("queue_drops", 0)),
+        protocol_errors=int(data.get("protocol_errors", 0)),
+        bytes_sent=int(data.get("bytes_sent", 0)),
+    )
+
+
+def _server_report_to_dict(report: ServerReport) -> dict[str, Any]:
+    return {
+        "clients": [_served_client_to_dict(c) for c in report.clients],
+        "ladder": list(report.ladder),
+        "duration_s": report.duration_s,
+        "scene": report.scene,
+    }
+
+
+def _server_report_from_dict(data: dict[str, Any]) -> ServerReport:
+    return ServerReport(
+        clients=tuple(_served_client_from_dict(c) for c in data["clients"]),
+        ladder=tuple(str(name) for name in data["ladder"]),
+        duration_s=float(data.get("duration_s", 0.0)),
+        scene=str(data.get("scene", "")),
+    )
+
+
+def _register_report_types() -> None:
+    from ..streaming.reports import register_report_type
+
+    register_report_type(
+        "served-client",
+        ServedClientReport,
+        _served_client_to_dict,
+        _served_client_from_dict,
+    )
+    register_report_type(
+        "server", ServerReport, _server_report_to_dict, _server_report_from_dict
+    )
+
+
+_register_report_types()

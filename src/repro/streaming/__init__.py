@@ -39,6 +39,12 @@ from .engine import (
     StreamSpec,
 )
 from .link import WIFI6_LINK, WIGIG_LINK, WirelessLink
+from .reports import (
+    REPORT_FORMAT_VERSION,
+    register_report_type,
+    report_from_json,
+    report_to_json,
+)
 from .server import (
     SCHEDULER_CHOICES,
     ClientConfig,
@@ -104,4 +110,8 @@ __all__ = [
     "get_scheduler",
     "simulate_fleet",
     "solo_sustainable_fps",
+    "REPORT_FORMAT_VERSION",
+    "register_report_type",
+    "report_to_json",
+    "report_from_json",
 ]

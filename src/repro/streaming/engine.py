@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import abc
 import heapq
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
@@ -46,7 +47,12 @@ import numpy as np
 
 from ..codecs.ladder import encode_frame_rungs
 from .link import WirelessLink
-from .validation import PRICING_MODES, validate_pricing, validate_stream_timing
+from .validation import (
+    PRICING_MODES,
+    validate_pricing,
+    validate_stream_timing,
+    validate_stream_window,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..codecs.ladder import QualityLadder
@@ -70,6 +76,7 @@ __all__ = [
     "FrameSource",
     "PrecomputedSource",
     "CodecStreamSource",
+    "frames_within_window",
     "StreamSpec",
     "StreamOutcome",
     "StreamingEngine",
@@ -497,7 +504,9 @@ class AdaptationState:
         self.rung = chosen
         return chosen
 
-    def record(self, payload_bits: int, drain_s: float) -> None:
+    def record(
+        self, payload_bits: int, drain_s: float, rung: int | None = None
+    ) -> None:
         """Fold one transmitted frame's timing back into the loop.
 
         Updates the goodput EWMA with this frame's delivered rate, adds
@@ -523,8 +532,15 @@ class AdaptationState:
         drain_s:
             Scheduler-assigned time for this payload to leave the air
             (contended time under a fleet scheduler).
+        rung:
+            Ladder index the frame was actually transmitted at.
+            Defaults to the current rung — correct for the simulators,
+            whose ``choose``/``record`` calls interleave strictly.  A
+            real server's transport acknowledgements can arrive *after*
+            the next frame's ``choose`` has already moved the current
+            rung, so it passes the frame's rung explicitly.
         """
-        rung = self.ladder[self.rung]
+        rung = self.ladder[self.rung if rung is None else rung]
         self.rung_names.append(rung.name)
         self._quality_sum += rung.quality
         self.time_in_rung[rung.name] = (
@@ -667,6 +683,28 @@ class CodecStreamSource(FrameSource):
 # -- stream specification and outcome -----------------------------------
 
 
+def frames_within_window(
+    n_frames: int,
+    target_fps: float,
+    start_s: float = 0.0,
+    stop_s: float | None = None,
+) -> int:
+    """Frames a stream produces before departing at ``stop_s``.
+
+    Frame ``k`` is ready at ``start_s + k / target_fps`` and is
+    streamed only while its stream is present (ready time strictly
+    before ``stop_s``).  ``None`` means no departure.  A valid window
+    (``stop_s > start_s``) always admits frame 0.  Shared by
+    :attr:`StreamSpec.frames_to_stream` and the fleet's per-client
+    encode planning, so the encoder never renders frames the engine
+    would drop.
+    """
+    if stop_s is None:
+        return n_frames
+    by_departure = math.ceil((stop_s - start_s) * target_fps - 1e-9)
+    return max(1, min(n_frames, by_departure))
+
+
 @dataclass
 class StreamSpec:
     """One stream (client) as the engine sees it.
@@ -689,6 +727,11 @@ class StreamSpec:
     start_s:
         Session time the stream joins (``pricing="backlog"`` only);
         models late joiners.
+    stop_s:
+        Session time the stream departs, or ``None`` to stream all
+        ``n_frames``.  Frames whose ready time falls at or after
+        ``stop_s`` are never produced — the engine's model of a client
+        leaving the fleet mid-session.
     adaptation:
         Optional per-stream :class:`AdaptationState` (controller +
         telemetry); ``None`` pins the source's first rung.
@@ -705,6 +748,7 @@ class StreamSpec:
     encode_time_s: float = 0.0
     weight: float = 1.0
     start_s: float = 0.0
+    stop_s: float | None = None
     adaptation: AdaptationState | None = None
     rung_map: tuple[int, ...] | None = None
 
@@ -718,11 +762,24 @@ class StreamSpec:
             raise ValueError(f"stream {self.name!r}: weight must be positive")
         if self.start_s < 0:
             raise ValueError(f"start_s must be >= 0, got {self.start_s}")
+        validate_stream_window(self.start_s, self.stop_s, name=self.name)
 
     @property
     def interval_s(self) -> float:
         """The stream's own frame interval in seconds."""
         return 1.0 / self.target_fps
+
+    @property
+    def frames_to_stream(self) -> int:
+        """Frames actually produced, after any ``stop_s`` departure.
+
+        Frame ``k`` is ready at ``start_s + k * interval_s`` and is
+        streamed only while the stream is present (ready time strictly
+        before ``stop_s``).  A valid window always admits frame 0.
+        """
+        return frames_within_window(
+            self.n_frames, self.target_fps, self.start_s, self.stop_s
+        )
 
 
 @dataclass(frozen=True)
@@ -937,9 +994,18 @@ class StreamingEngine:
         weights_all = [rt.spec.weight for rt in runtimes]
         for frame_index in range(n_rounds):
             round_start_s = frame_index * interval_s
+            # A departed stream (stop_s at or before this round's start)
+            # contributes nothing to the round's batch — the round-clock
+            # equivalent of the backlog kernel never producing frames
+            # after the departure.
             active = [
-                rt for rt in runtimes if frame_index < rt.spec.n_frames
+                rt
+                for rt in runtimes
+                if frame_index < rt.spec.n_frames
+                and (rt.spec.stop_s is None or round_start_s < rt.spec.stop_s)
             ]
+            if not active:
+                continue
             payloads: list[int] = []
             rung_names: list[str] = []
             for rt in active:
@@ -993,7 +1059,7 @@ class StreamingEngine:
         spec = rt.spec
         state = spec.adaptation
         interval_s = spec.interval_s
-        for frame_index in range(spec.n_frames):
+        for frame_index in range(spec.frames_to_stream):
             time_s = spec.start_s + frame_index * interval_s
             self._log(time_s, FRAME_READY, spec.name, frame_index)
             payload, rung_name = self._choose_payload(rt, frame_index, time_s)
@@ -1043,7 +1109,7 @@ class StreamingEngine:
 
         for index, rt in enumerate(runtimes):
             interval_s = rt.spec.interval_s
-            for frame_index in range(rt.spec.n_frames):
+            for frame_index in range(rt.spec.frames_to_stream):
                 push(
                     rt.spec.start_s + frame_index * interval_s,
                     FRAME_READY,

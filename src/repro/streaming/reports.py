@@ -1,0 +1,319 @@
+"""One JSON format for every streaming report, simulated or served.
+
+The simulators (:mod:`repro.streaming.session`, ``adaptive``,
+``server``) and the real serving path (:mod:`repro.serving`) all
+describe their outcomes with the same vocabulary — per-frame
+:class:`~repro.streaming.engine.FrameTiming` rows, per-stream
+:class:`~repro.streaming.engine.AdaptiveStats`, per-client reports
+rolling up into a fleet/server aggregate.  This module gives that
+vocabulary one serialized form, so ``repro serve --report`` output and
+``simulate_fleet`` results are *diffable with the same tooling*: load
+either side with :func:`report_from_json` and compare attribute by
+attribute, or diff the JSON directly.
+
+Every payload carries a ``"report"`` type tag and a ``"version"``;
+decoding dispatches on the tag through a registry that the serving
+subsystem extends with its own report types
+(:func:`register_report_type`), so one loader handles simulator and
+server output alike.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+from .engine import AdaptiveStats, FrameTiming
+from .link import WirelessLink
+from .traces import BandwidthTrace
+
+__all__ = [
+    "REPORT_FORMAT_VERSION",
+    "frame_timing_to_dict",
+    "frame_timing_from_dict",
+    "adaptive_stats_to_dict",
+    "adaptive_stats_from_dict",
+    "link_to_dict",
+    "link_from_dict",
+    "register_report_type",
+    "report_to_dict",
+    "report_from_dict",
+    "report_to_json",
+    "report_from_json",
+]
+
+#: Version stamped into every serialized report; bump on breaking
+#: format changes so old payloads fail loudly instead of silently.
+REPORT_FORMAT_VERSION = 1
+
+
+# -- leaf converters ----------------------------------------------------
+
+
+def frame_timing_to_dict(timing: FrameTiming) -> dict[str, Any]:
+    """One :class:`FrameTiming` as a plain JSON-ready mapping."""
+    return {
+        "frame_index": timing.frame_index,
+        "payload_bits": timing.payload_bits,
+        "encode_time_s": timing.encode_time_s,
+        "serialization_time_s": timing.serialization_time_s,
+        "transmit_time_s": timing.transmit_time_s,
+        "rung": timing.rung,
+    }
+
+
+def frame_timing_from_dict(data: dict[str, Any]) -> FrameTiming:
+    """Rebuild a :class:`FrameTiming` from its mapping form."""
+    return FrameTiming(
+        frame_index=int(data["frame_index"]),
+        payload_bits=int(data["payload_bits"]),
+        encode_time_s=float(data["encode_time_s"]),
+        serialization_time_s=float(data["serialization_time_s"]),
+        transmit_time_s=float(data["transmit_time_s"]),
+        rung=str(data.get("rung", "")),
+    )
+
+
+def adaptive_stats_to_dict(stats: AdaptiveStats | None) -> dict[str, Any] | None:
+    """Adaptation telemetry as a mapping (``None`` passes through)."""
+    if stats is None:
+        return None
+    return {
+        "controller": stats.controller,
+        "rungs": list(stats.rungs),
+        "rung_switches": stats.rung_switches,
+        "time_in_rung": dict(stats.time_in_rung),
+        "stall_time_s": stats.stall_time_s,
+        "mean_quality": stats.mean_quality,
+    }
+
+
+def adaptive_stats_from_dict(data: dict[str, Any] | None) -> AdaptiveStats | None:
+    """Rebuild :class:`AdaptiveStats` (``None`` passes through)."""
+    if data is None:
+        return None
+    return AdaptiveStats(
+        controller=str(data["controller"]),
+        rungs=tuple(str(r) for r in data["rungs"]),
+        rung_switches=int(data["rung_switches"]),
+        time_in_rung={str(k): float(v) for k, v in data["time_in_rung"].items()},
+        stall_time_s=float(data["stall_time_s"]),
+        mean_quality=float(data["mean_quality"]),
+    )
+
+
+def link_to_dict(link: WirelessLink) -> dict[str, Any]:
+    """A link (and any attached trace) as a mapping."""
+    trace = None
+    if link.trace is not None:
+        trace = {
+            "times_s": list(link.trace.times_s),
+            "rates_mbps": list(link.trace.rates_mbps),
+        }
+    return {
+        "bandwidth_mbps": link.bandwidth_mbps,
+        "propagation_ms": link.propagation_ms,
+        "jitter_ms": link.jitter_ms,
+        "trace": trace,
+    }
+
+
+def link_from_dict(data: dict[str, Any]) -> WirelessLink:
+    """Rebuild a :class:`WirelessLink` (trace segments included)."""
+    trace = None
+    if data.get("trace") is not None:
+        trace = BandwidthTrace(data["trace"]["times_s"], data["trace"]["rates_mbps"])
+    return WirelessLink(
+        bandwidth_mbps=float(data["bandwidth_mbps"]),
+        propagation_ms=float(data["propagation_ms"]),
+        jitter_ms=float(data["jitter_ms"]),
+        trace=trace,
+    )
+
+
+# -- the report-type registry -------------------------------------------
+
+#: tag -> (class, to_dict, from_dict).  Populated below for the
+#: simulator reports; :mod:`repro.serving` registers its own.
+_REPORT_TYPES: dict[str, tuple[type, Callable, Callable]] = {}
+
+
+def register_report_type(
+    tag: str,
+    cls: type,
+    to_dict: Callable[[Any], dict[str, Any]],
+    from_dict: Callable[[dict[str, Any]], Any],
+) -> None:
+    """Teach the serializer a new report type.
+
+    Parameters
+    ----------
+    tag:
+        The payload's ``"report"`` value.  Must be unique.
+    cls:
+        The exact report class the tag stands for (dispatch is on
+        ``type(report)``, so subclasses register their own tags).
+    to_dict, from_dict:
+        The body converters; the envelope (tag + version) is handled
+        here.
+    """
+    if tag in _REPORT_TYPES:
+        raise ValueError(f"report tag {tag!r} already registered")
+    _REPORT_TYPES[tag] = (cls, to_dict, from_dict)
+
+
+def report_to_dict(report: Any) -> dict[str, Any]:
+    """Serialize any registered report to its tagged mapping form."""
+    for tag, (cls, to_dict, _) in _REPORT_TYPES.items():
+        if type(report) is cls:
+            return {"report": tag, "version": REPORT_FORMAT_VERSION, **to_dict(report)}
+    raise TypeError(
+        f"no serializer registered for {type(report).__name__}; "
+        f"known tags: {sorted(_REPORT_TYPES)}"
+    )
+
+
+def report_from_dict(data: dict[str, Any]) -> Any:
+    """Rebuild a report from its tagged mapping form."""
+    tag = data.get("report")
+    if tag not in _REPORT_TYPES:
+        raise ValueError(
+            f"unknown report tag {tag!r}; known tags: {sorted(_REPORT_TYPES)}"
+        )
+    version = data.get("version")
+    if version != REPORT_FORMAT_VERSION:
+        raise ValueError(
+            f"report format version {version!r} not supported "
+            f"(this build reads version {REPORT_FORMAT_VERSION})"
+        )
+    _, _, from_dict = _REPORT_TYPES[tag]
+    return from_dict(data)
+
+
+def report_to_json(report: Any, indent: int | None = 2) -> str:
+    """Any registered report as a JSON document."""
+    return json.dumps(report_to_dict(report), indent=indent)
+
+
+def report_from_json(text: str) -> Any:
+    """Load whichever report type a JSON document declares."""
+    return report_from_dict(json.loads(text))
+
+
+# -- simulator report types ---------------------------------------------
+
+
+def _session_body(report) -> dict[str, Any]:
+    return {
+        "encoder": report.encoder,
+        "target_fps": report.target_fps,
+        "frames": [frame_timing_to_dict(f) for f in report.frames],
+    }
+
+
+def _session_to_dict(report) -> dict[str, Any]:
+    return _session_body(report)
+
+
+def _session_from_dict(data: dict[str, Any]):
+    from .session import SessionReport
+
+    return SessionReport(
+        encoder=str(data["encoder"]),
+        target_fps=float(data["target_fps"]),
+        frames=[frame_timing_from_dict(f) for f in data["frames"]],
+    )
+
+
+def _adaptive_session_to_dict(report) -> dict[str, Any]:
+    return {
+        **_session_body(report),
+        "adaptive": adaptive_stats_to_dict(report.adaptive),
+        "ladder": list(report.ladder),
+    }
+
+
+def _adaptive_session_from_dict(data: dict[str, Any]):
+    from .adaptive import AdaptiveSessionReport
+
+    return AdaptiveSessionReport(
+        encoder=str(data["encoder"]),
+        target_fps=float(data["target_fps"]),
+        frames=[frame_timing_from_dict(f) for f in data["frames"]],
+        adaptive=adaptive_stats_from_dict(data.get("adaptive")),
+        ladder=tuple(str(name) for name in data.get("ladder", ())),
+    )
+
+
+def _client_to_dict(report) -> dict[str, Any]:
+    return {
+        **_session_body(report),
+        "name": report.name,
+        "scene": report.scene,
+        "weight": report.weight,
+        "adaptive": adaptive_stats_to_dict(report.adaptive),
+        "start_s": report.start_s,
+        "stop_s": report.stop_s,
+    }
+
+
+def _client_from_dict(data: dict[str, Any]):
+    from .server import ClientReport
+
+    return ClientReport(
+        encoder=str(data["encoder"]),
+        target_fps=float(data["target_fps"]),
+        frames=[frame_timing_from_dict(f) for f in data["frames"]],
+        name=str(data["name"]),
+        scene=str(data["scene"]),
+        weight=float(data["weight"]),
+        adaptive=adaptive_stats_from_dict(data.get("adaptive")),
+        start_s=float(data.get("start_s", 0.0)),
+        stop_s=None if data.get("stop_s") is None else float(data["stop_s"]),
+    )
+
+
+def _fleet_to_dict(report) -> dict[str, Any]:
+    return {
+        "clients": [_client_to_dict(c) for c in report.clients],
+        "link": link_to_dict(report.link),
+        "scheduler": report.scheduler,
+        "n_frames": report.n_frames,
+        "controller": report.controller,
+        "pricing": report.pricing,
+    }
+
+
+def _fleet_from_dict(data: dict[str, Any]):
+    from .server import FleetReport
+
+    return FleetReport(
+        clients=tuple(_client_from_dict(c) for c in data["clients"]),
+        link=link_from_dict(data["link"]),
+        scheduler=str(data["scheduler"]),
+        n_frames=int(data["n_frames"]),
+        controller=(
+            None if data.get("controller") is None else str(data["controller"])
+        ),
+        pricing=str(data.get("pricing", "backlog")),
+    )
+
+
+def _register_builtin_types() -> None:
+    """Register the simulator reports (deferred: import cycles)."""
+    from .adaptive import AdaptiveSessionReport
+    from .server import ClientReport, FleetReport
+    from .session import SessionReport
+
+    register_report_type("session", SessionReport, _session_to_dict, _session_from_dict)
+    register_report_type(
+        "adaptive-session",
+        AdaptiveSessionReport,
+        _adaptive_session_to_dict,
+        _adaptive_session_from_dict,
+    )
+    register_report_type("client", ClientReport, _client_to_dict, _client_from_dict)
+    register_report_type("fleet", FleetReport, _fleet_to_dict, _fleet_from_dict)
+
+
+_register_builtin_types()

@@ -70,11 +70,12 @@ from .engine import (
     PriorityScheduler,
     StreamingEngine,
     StreamSpec,
+    frames_within_window,
     get_scheduler,
 )
 from .link import WIFI6_LINK, WirelessLink
 from .session import ENCODER_CHOICES, SessionReport, build_streaming_codec
-from .validation import validate_stream_timing
+from .validation import validate_stream_timing, validate_stream_window
 
 __all__ = [
     "ClientConfig",
@@ -125,6 +126,12 @@ class ClientConfig:
         first frame is ready at ``start_s``).  Requires
         ``pricing="backlog"``; the legacy round pricing shares one
         round clock.
+    stop_s:
+        Session time this client leaves the fleet, or ``None`` to
+        stream all ``n_frames``.  Frames whose ready time falls at or
+        after ``stop_s`` are never streamed, and
+        :attr:`FleetReport.link_utilization` weighs the client's demand
+        by the fraction of the fleet horizon it was actually present.
     """
 
     name: str
@@ -138,6 +145,7 @@ class ClientConfig:
     gaze_trace: tuple[GazeSample, ...] | None = None
     encode_throughput_mpixels_s: float = 500.0
     start_s: float = 0.0
+    stop_s: float | None = None
 
     def __post_init__(self):
         if not self.name:
@@ -164,6 +172,7 @@ class ClientConfig:
             raise ValueError(
                 f"client {self.name!r}: start_s must be >= 0, got {self.start_s}"
             )
+        validate_stream_window(self.start_s, self.stop_s, name=self.name)
         fx, fy = self.fixation
         if not (0.0 <= fx <= 1.0 and 0.0 <= fy <= 1.0):
             raise ValueError(
@@ -227,6 +236,18 @@ class ClientReport(SessionReport):
     scene: str = ""
     weight: float = 1.0
     adaptive: AdaptiveStats | None = None
+    start_s: float = 0.0
+    stop_s: float | None = None
+
+    @property
+    def active_time_s(self) -> float:
+        """Display time this client actually streamed for.
+
+        The number of frames it produced (after any ``stop_s``
+        departure) times its own frame interval — the client's
+        presence, as opposed to the fleet's whole horizon.
+        """
+        return len(self.frames) / self.target_fps
 
 
 @dataclass(frozen=True)
@@ -298,17 +319,35 @@ class FleetReport:
         return float(np.percentile(latencies, percentile))
 
     @property
+    def horizon_s(self) -> float:
+        """Fleet horizon: when the last client's last frame was ready.
+
+        The latest ``start_s + active_time_s`` over the fleet — the
+        duration demand is averaged over in
+        :attr:`link_utilization`.
+        """
+        return max(r.start_s + r.active_time_s for r in self.clients)
+
+    @property
     def link_utilization(self) -> float:
         """Offered load at target rates relative to link capacity.
 
         Each client demands ``mean payload x target fps`` bits per
-        second; the sum over clients, divided by the link bandwidth, is
-        the fraction of capacity the fleet asks for.  Values above 1
+        second *while present*; joins (``start_s``) and departures
+        (``stop_s``) weigh that demand by the fraction of the fleet
+        horizon the client actually streamed for.  The sum over
+        clients, divided by the link bandwidth, is the fraction of
+        capacity the fleet asks for — an always-on fleet reduces to the
+        plain ``mean payload x target fps`` demand.  Values above 1
         mean the link is oversubscribed — some clients necessarily miss
         their targets.  (Traced links use their nominal mean rate.)
         """
+        horizon = self.horizon_s
         demand = sum(
-            report.mean_payload_bits * report.target_fps for report in self.clients
+            report.mean_payload_bits
+            * report.target_fps
+            * (report.active_time_s / horizon)
+            for report in self.clients
         )
         return demand / (self.link.bandwidth_mbps * 1e6)
 
@@ -333,6 +372,30 @@ class FleetReport:
             r.adaptive.mean_quality for r in self.clients if r.adaptive is not None
         ]
         return float(np.mean(qualities)) if qualities else None
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialize through :mod:`repro.streaming.reports`.
+
+        The payload is type-tagged (``"report": "fleet"``) so the
+        generic :func:`~repro.streaming.reports.report_from_json`
+        loader reads it back alongside session/client/server payloads.
+        """
+        from .reports import report_to_json
+
+        return report_to_json(self, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FleetReport":
+        """Load a report serialized by :meth:`to_json`."""
+        from .reports import report_from_json
+
+        report = report_from_json(text)
+        if not isinstance(report, cls):
+            raise TypeError(
+                f"payload decodes to {type(report).__name__}, "
+                f"not {cls.__name__}"
+            )
+        return report
 
     def summary(self) -> str:
         """One-line fleet health readout."""
@@ -419,24 +482,29 @@ def _encode_client_stream(
 def _encode_streams(
     clients: Sequence[ClientConfig],
     display: DisplayGeometry,
-    n_frames: int,
+    frame_counts: Sequence[int],
     n_jobs: int,
     ladder: QualityLadder | None = None,
     rung_indices: Sequence[tuple[int, ...] | None] | None = None,
 ) -> list[list[tuple[int, ...]]]:
-    """Per-client payload streams, fanned over processes when asked."""
+    """Per-client payload streams, fanned over processes when asked.
+
+    ``frame_counts`` holds each client's post-departure frame count
+    (:func:`~repro.streaming.engine.frames_within_window`), so an
+    early-leaving client never pays for frames the engine would drop.
+    """
     per_client = rung_indices if rung_indices is not None else [None] * len(clients)
     if n_jobs == 1 or len(clients) == 1:
         return [
-            _encode_client_stream(c, display, n_frames, ladder, indices)
-            for c, indices in zip(clients, per_client)
+            _encode_client_stream(c, display, count, ladder, indices)
+            for c, count, indices in zip(clients, frame_counts, per_client)
         ]
     with worker_pool(min(n_jobs, len(clients))) as pool:
         futures = [
             pool.submit(
-                _encode_client_stream, client, display, n_frames, ladder, indices
+                _encode_client_stream, client, display, count, ladder, indices
             )
-            for client, indices in zip(clients, per_client)
+            for client, count, indices in zip(clients, frame_counts, per_client)
         ]
         return [future.result() for future in futures]
 
@@ -529,6 +597,20 @@ def simulate_fleet(
     if controller is None and ladder is not None:
         raise ValueError("ladder only applies when a controller is given")
     engine_scheduler = get_scheduler(scheduler)
+    engine = StreamingEngine(link, scheduler=engine_scheduler, pricing=pricing)
+    if engine.pricing == "round":
+        # The legacy round clock ticks at the fastest client's
+        # interval, so a departing client consumes rounds — not frames
+        # of its own rate — until ``stop_s``.
+        round_fps = max(c.target_fps for c in clients)
+        frame_counts = [
+            frames_within_window(n_frames, round_fps, 0.0, c.stop_s) for c in clients
+        ]
+    else:
+        frame_counts = [
+            frames_within_window(n_frames, c.target_fps, c.start_s, c.stop_s)
+            for c in clients
+        ]
 
     policy: RateController | None = None
     adapters: list[AdaptationState] | None = None
@@ -557,10 +639,10 @@ def simulate_fleet(
             for start, client in zip(start_rungs, clients)
         ]
         streams = _encode_streams(
-            clients, display, n_frames, n_jobs, ladder, rung_maps
+            clients, display, frame_counts, n_jobs, ladder, rung_maps
         )
     else:
-        streams = _encode_streams(clients, display, n_frames, n_jobs)
+        streams = _encode_streams(clients, display, frame_counts, n_jobs)
 
     specs = [
         StreamSpec(
@@ -571,12 +653,12 @@ def simulate_fleet(
             encode_time_s=client.encode_time_s,
             weight=client.weight,
             start_s=client.start_s,
+            stop_s=client.stop_s,
             adaptation=adapters[ci] if adapters is not None else None,
             rung_map=rung_maps[ci] if adapters is not None else None,
         )
         for ci, client in enumerate(clients)
     ]
-    engine = StreamingEngine(link, scheduler=engine_scheduler, pricing=pricing)
     outcomes = engine.run(specs, seed=seed)
 
     reports = tuple(
@@ -588,6 +670,8 @@ def simulate_fleet(
             scene=client.scene,
             weight=client.weight,
             adaptive=outcome.adaptive,
+            start_s=client.start_s,
+            stop_s=client.stop_s,
         )
         for client, outcome in zip(clients, outcomes)
     )

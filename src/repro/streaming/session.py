@@ -110,6 +110,38 @@ class SessionReport:
         """Whether the sustainable rate reaches the target refresh rate."""
         return self.sustainable_fps >= self.target_fps
 
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialize through :mod:`repro.streaming.reports`.
+
+        The payload is type-tagged, so the generic
+        :func:`~repro.streaming.reports.report_from_json` loader — and
+        the ``from_json`` classmethod on any report class — can read
+        it back.  Subclasses serialize with their own tag and extra
+        fields automatically.
+        """
+        from .reports import report_to_json
+
+        return report_to_json(self, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SessionReport":
+        """Load a report serialized by :meth:`to_json`.
+
+        Decoding dispatches on the payload's type tag; the result must
+        be an instance of ``cls`` (calling
+        ``ClientReport.from_json`` on a fleet payload is an error, but
+        ``SessionReport.from_json`` accepts any session subclass).
+        """
+        from .reports import report_from_json
+
+        report = report_from_json(text)
+        if not isinstance(report, cls):
+            raise TypeError(
+                f"payload decodes to {type(report).__name__}, "
+                f"not {cls.__name__}"
+            )
+        return report
+
 
 def simulate_session(
     scene: Scene,

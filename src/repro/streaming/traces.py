@@ -218,6 +218,21 @@ class BandwidthTrace:
         return int(self._times.size)
 
     @property
+    def times_s(self) -> tuple[float, ...]:
+        """Segment start times in seconds, ascending from 0."""
+        return tuple(float(t) for t in self._times)
+
+    @property
+    def rates_mbps(self) -> tuple[float, ...]:
+        """Segment rates in Mbps, aligned with :attr:`times_s`.
+
+        ``BandwidthTrace(trace.times_s, trace.rates_mbps)`` rebuilds an
+        equivalent trace — the round-trip report serialization in
+        :mod:`repro.streaming.reports` relies on exactly that.
+        """
+        return tuple(float(r) / 1e6 for r in self._rates_bps)
+
+    @property
     def duration_s(self) -> float:
         """Start time of the last (open-ended) segment."""
         return float(self._times[-1])
@@ -283,6 +298,23 @@ class BandwidthTrace:
         index = int(np.searchsorted(self._cum_bits, target, side="right") - 1)
         residual = target - self._cum_bits[index]
         return float(self._times[index] + residual / self._rates_bps[index])
+
+    def __eq__(self, other: object) -> bool:
+        """Segment-wise value equality.
+
+        Two traces are equal when their boundary times and rates match
+        exactly — the invariant that makes the
+        ``BandwidthTrace(trace.times_s, trace.rates_mbps)`` rebuild
+        (and therefore report serialization round-trips) lossless.
+        """
+        if not isinstance(other, BandwidthTrace):
+            return NotImplemented
+        return np.array_equal(self._times, other._times) and np.array_equal(
+            self._rates_bps, other._rates_bps
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._times.tobytes(), self._rates_bps.tobytes()))
 
     def __repr__(self) -> str:
         return (

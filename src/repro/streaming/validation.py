@@ -12,7 +12,12 @@ in by.
 
 from __future__ import annotations
 
-__all__ = ["PRICING_MODES", "validate_stream_timing", "validate_pricing"]
+__all__ = [
+    "PRICING_MODES",
+    "validate_stream_timing",
+    "validate_stream_window",
+    "validate_pricing",
+]
 
 #: Transport pricing disciplines the engine understands: ``"backlog"``
 #: queues each stream's payloads behind its own transmit backlog
@@ -53,6 +58,43 @@ def validate_stream_timing(
         raise ValueError(f"target_fps must be positive, got {target_fps}")
     if encode_throughput_mpixels_s is not None and encode_throughput_mpixels_s <= 0:
         raise ValueError("encode_throughput_mpixels_s must be positive")
+
+
+def validate_stream_window(
+    start_s: float = 0.0, stop_s: float | None = None, name: str | None = None
+) -> None:
+    """Reject an impossible join/leave window.
+
+    A stream joins the session at ``start_s`` and (optionally) departs
+    at ``stop_s``: frames whose ready time falls at or after ``stop_s``
+    are never streamed.  Both the fleet's
+    :class:`~repro.streaming.server.ClientConfig` and the engine's
+    :class:`~repro.streaming.engine.StreamSpec` validate here, so a bad
+    window raises the same message whichever door it comes in by.
+
+    Parameters
+    ----------
+    start_s:
+        Session time the stream joins; must be >= 0.
+    stop_s:
+        Session time the stream departs, or ``None`` for no departure.
+        Must leave room for at least the first frame
+        (``stop_s > start_s``).
+    name:
+        Optional stream/client name used to prefix error messages.
+
+    Raises
+    ------
+    ValueError
+        On a negative ``start_s`` or a ``stop_s`` at or before it.
+    """
+    prefix = f"{name!r}: " if name else ""
+    if start_s < 0:
+        raise ValueError(f"{prefix}start_s must be >= 0, got {start_s}")
+    if stop_s is not None and stop_s <= start_s:
+        raise ValueError(
+            f"{prefix}stop_s must be > start_s ({start_s}), got {stop_s}"
+        )
 
 
 def validate_pricing(pricing: str) -> str:

@@ -1,0 +1,123 @@
+"""FrameBank tests: sizes match the simulators, bytes match the sizes."""
+
+import pytest
+
+from repro.codecs.ladder import QualityLadder, encode_frame_rungs
+from repro.scenes import get_scene
+from repro.scenes.display import QUEST2_DISPLAY
+from repro.serving.frames import FrameBank, filler_payload
+
+
+def _sub_ladder(n: int) -> QualityLadder:
+    return QualityLadder(rungs=QualityLadder.default().rungs[:n])
+
+
+class TestFillerPayload:
+    def test_length_is_byte_ceiling_of_bits(self):
+        for bits, expected in [(0, 0), (1, 1), (8, 1), (9, 2), (12_000, 1500)]:
+            assert len(filler_payload(bits, 0, 0)) == expected
+
+    def test_deterministic_and_distinguishable(self):
+        assert filler_payload(256, 3, 1) == filler_payload(256, 3, 1)
+        assert filler_payload(256, 3, 1) != filler_payload(256, 3, 2)
+        assert filler_payload(256, 3, 1) != filler_payload(256, 4, 1)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError, match="payload_bits"):
+            filler_payload(-1, 0, 0)
+
+
+class TestFromRungStreams:
+    def test_payload_bytes_carry_exactly_the_priced_bits(self):
+        streams = [(80_000, 40_000, 16_000), (64_000, 32_000, 8_000)]
+        ladder = _sub_ladder(3)
+        bank = FrameBank.from_rung_streams(streams, ladder=ladder)
+        for frame in range(2):
+            for rung in range(3):
+                payload = bank.payload(frame, rung)
+                assert 8 * len(payload) == streams[frame][rung]
+
+    def test_cycles_like_precomputed_source(self):
+        streams = [(100, 50), (200, 80), (300, 90)]
+        ladder = _sub_ladder(2)
+        bank = FrameBank.from_rung_streams(streams, ladder=ladder)
+        assert bank.n_unique_frames == 3
+        assert bank.rung_bits(4) == bank.rung_bits(1)
+        assert bank.payload(4, 0) == bank.payload(1, 0)
+
+    def test_rung_streams_round_trip(self):
+        streams = [(100, 50), (200, 80)]
+        ladder = _sub_ladder(2)
+        bank = FrameBank.from_rung_streams(streams, ladder=ladder)
+        assert bank.rung_streams == [tuple(s) for s in streams]
+
+    def test_rung_index_bounds_checked(self):
+        bank = FrameBank.from_rung_streams(
+            [(100, 50)], ladder=_sub_ladder(2)
+        )
+        with pytest.raises(IndexError):
+            bank.payload(0, 2)
+
+    def test_validation(self):
+        ladder = _sub_ladder(2)
+        with pytest.raises(ValueError, match="at least one frame"):
+            FrameBank.from_rung_streams([], ladder=ladder)
+        with pytest.raises(ValueError, match="one entry per rung"):
+            FrameBank.from_rung_streams([(100,)], ladder=ladder)
+        with pytest.raises(ValueError, match="encode_time_s"):
+            FrameBank.from_rung_streams(
+                [(100, 50)], ladder=ladder, encode_time_s=-1.0
+            )
+
+
+class TestFromScene:
+    @pytest.fixture(scope="class")
+    def bank(self):
+        return FrameBank.from_scene("office", n_frames=2, height=32, width=32)
+
+    def test_sizes_match_the_simulator_encode_path(self, bank):
+        # The bank must price frames exactly like the ladder encode the
+        # simulators run, or the twin contract is void at the source.
+        scene = get_scene("office")
+        ladder = QualityLadder.default()
+        for frame in range(2):
+            codecs = [rung.build() for rung in ladder]
+            expected = encode_frame_rungs(
+                scene, codecs, 32, 32, QUEST2_DISPLAY, frame
+            )
+            assert bank.rung_bits(frame) == tuple(expected)
+
+    def test_bitstream_rungs_carry_real_bytes(self, bank):
+        # BD-family rungs emit actual packed bitstreams (distinct from
+        # the deterministic filler pattern) at the priced bits' byte
+        # ceiling.
+        ladder = QualityLadder.default()
+        names = [rung.name for rung in ladder]
+        for rung_name in ("bd", "variable-bd"):
+            rung_index = names.index(rung_name)
+            bits = bank.rung_bits(0)[rung_index]
+            payload = bank.payload(0, rung_index)
+            assert len(payload) == (bits + 7) // 8
+            assert payload != filler_payload(bits, 0, rung_index)
+
+    def test_filler_rungs_carry_the_byte_ceiling(self, bank):
+        ladder = QualityLadder.default()
+        for rung_index in range(len(ladder)):
+            bits = bank.rung_bits(0)[rung_index]
+            assert len(bank.payload(0, rung_index)) == (bits + 7) // 8
+
+    def test_parallel_encode_is_bit_identical(self, bank):
+        pooled = FrameBank.from_scene(
+            "office", n_frames=2, height=32, width=32, n_jobs=2
+        )
+        assert pooled.rung_streams == bank.rung_streams
+        for frame in range(2):
+            for rung in range(len(bank.ladder)):
+                assert pooled.payload(frame, rung) == bank.payload(frame, rung)
+
+    def test_encode_time_uses_the_simulator_formula(self, bank):
+        assert bank.encode_time_s == pytest.approx(2 * 32 * 32 / 500e6)
+
+    def test_repr_mentions_scene_and_shape(self, bank):
+        assert "office" in repr(bank)
+        assert "2 frames" in repr(bank)

@@ -1,0 +1,218 @@
+"""Server + loadgen integration tests over real loopback sockets.
+
+Everything here runs end to end: a :class:`~repro.serving.StreamServer`
+bound to an ephemeral port, real TCP connections, real backpressure.
+Streams are kept short so the whole module stays in tier-1 time.
+"""
+
+import asyncio
+import dataclasses
+import json
+
+import pytest
+
+from repro.serving import (
+    FrameBank,
+    Hello,
+    LoadgenConfig,
+    LoadgenReport,
+    MessageDecoder,
+    ServeConfig,
+    ServerReport,
+    StreamServer,
+    StreamSetup,
+    Welcome,
+    encode_message,
+    run_loadgen,
+)
+from repro.serving.cli import loadgen_main, serve_main
+from repro.streaming import BandwidthTrace
+
+#: A tiny synthetic ladder: every frame offers the same five sizes.
+SIZES = (80_000, 40_000, 20_000, 10_000, 5_000)
+
+#: Heavyweight ladder for the backpressure test: even the min rung
+#: (50 KB/frame) outweighs the throttled client's channel many times
+#: over, so kernel buffers fill, ``drain()`` blocks, and the send
+#: queue backs up into the deadline.
+HEAVY_SIZES = (2_000_000, 1_000_000, 800_000, 600_000, 400_000)
+
+
+def _bank(sizes=SIZES) -> FrameBank:
+    return FrameBank.from_rung_streams([sizes])
+
+
+async def _serve_and_load(config: ServeConfig, load: LoadgenConfig):
+    server = StreamServer(config)
+    await server.start()
+    try:
+        load = dataclasses.replace(load, host=config.host, port=server.port)
+        loadgen = await run_loadgen(load)
+    finally:
+        report = await server.stop()
+    return report, loadgen
+
+
+class TestHappyPath:
+    def test_multi_client_stream_completes_cleanly(self):
+        setup = StreamSetup(
+            scene="synthetic", target_fps=100.0, n_frames=10, controller="throughput"
+        )
+        report, loadgen = asyncio.run(
+            _serve_and_load(
+                ServeConfig(bank=_bank(), port=0),
+                LoadgenConfig(setup=setup, n_clients=4, timeout_s=30.0),
+            )
+        )
+        assert loadgen.completed_clients == 4
+        assert loadgen.protocol_errors == 0
+        assert report.protocol_errors == 0
+        assert report.frames_sent == 40
+        assert report.dropped_frames == 0
+        # Unthrottled loopback never pressures the controller off the
+        # best rung.
+        assert report.rung_occupancy.get("nocom", 0.0) == pytest.approx(1.0)
+
+    def test_server_report_round_trips_as_json(self):
+        setup = StreamSetup(scene="synthetic", target_fps=100.0, n_frames=5)
+        report, _ = asyncio.run(
+            _serve_and_load(
+                ServeConfig(bank=_bank(), port=0),
+                LoadgenConfig(setup=setup, n_clients=2, timeout_s=30.0),
+            )
+        )
+        rebuilt = ServerReport.from_json(report.to_json())
+        assert rebuilt == report
+        assert rebuilt.summary() == report.summary()
+
+
+class TestBackpressure:
+    def test_throttled_fleet_engages_deadline_drops(self):
+        # The acceptance scenario of the serving subsystem: 64 clients
+        # each consuming at 2 Mbps while even the min rung wants
+        # 200 ms/frame against a 20 ms interval.  Socket buffers fill,
+        # ``drain()`` blocks, the send queue backs up, and frames
+        # queued past the 100 ms deadline are dropped instead of sent.
+        setup = StreamSetup(
+            scene="synthetic", target_fps=50.0, n_frames=40, controller="throughput"
+        )
+        config = ServeConfig(
+            bank=_bank(HEAVY_SIZES),
+            port=0,
+            phy_trace=BandwidthTrace([0.0], [2.0]),
+            deadline_s=0.1,
+            queue_frames=8,
+            drain_grace_s=2.0,
+        )
+        load = LoadgenConfig(
+            setup=setup,
+            n_clients=64,
+            trace=BandwidthTrace([0.0], [2.0]),
+            chunk_bytes=4096,
+            connect_stagger_s=0.0,
+            timeout_s=60.0,
+        )
+        report, loadgen = asyncio.run(_serve_and_load(config, load))
+        assert report.n_clients == 64
+        assert loadgen.protocol_errors == 0
+        assert report.protocol_errors == 0
+        # Backpressure engaged: late frames were shed, not sent.
+        assert report.deadline_drops >= 1
+        assert report.frames_sent > 0
+        assert report.frames_sent + report.dropped_frames <= 64 * 40
+        # The report carries the serving-health vocabulary.
+        assert report.tail_latency_s(95.0) > 0.0
+        occupancy = report.rung_occupancy
+        assert occupancy and abs(sum(occupancy.values()) - 1.0) < 1e-9
+        # Sustained starvation pins the controller to the min-payload
+        # rung.
+        assert occupancy.get("perceptual", 0.0) > 0.5
+
+    def test_unknown_scene_is_rejected_at_handshake(self):
+        async def run():
+            server = StreamServer(ServeConfig(bank=_bank(), port=0))
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(
+                    encode_message(
+                        Hello(setup=StreamSetup(scene="not-in-the-bank"))
+                    )
+                )
+                await writer.drain()
+                decoder = MessageDecoder()
+                messages = []
+                while not messages:
+                    data = await reader.read(4096)
+                    if not data:
+                        break
+                    messages.extend(decoder.feed(data))
+                writer.close()
+                await writer.wait_closed()
+                return messages
+            finally:
+                await server.stop()
+
+        messages = asyncio.run(run())
+        assert messages, "server closed without answering the HELLO"
+        assert not isinstance(messages[0], Welcome)
+
+
+class TestCli:
+    def test_loadgen_spawn_server_smoke(self, capsys, tmp_path):
+        # The single-process smoke the CI job runs, scaled down.
+        report_path = tmp_path / "loadgen.json"
+        code = loadgen_main(
+            [
+                "--spawn-server",
+                "--clients", "3",
+                "--fps", "100",
+                "--frames", "6",
+                "--scene", "office",
+                "--height", "32",
+                "--width", "32",
+                "--bank-frames", "2",
+                "--report", str(report_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3/3 clients completed" in out
+        assert "0 protocol errors" in out
+        rebuilt = LoadgenReport.from_json(report_path.read_text())
+        assert rebuilt.frames_received == 18
+        data = json.loads(report_path.read_text())
+        assert data["report"] == "loadgen"
+
+    def test_loadgen_against_missing_server_fails(self):
+        code = loadgen_main(
+            ["--port", "1", "--clients", "1", "--frames", "1", "--timeout", "2"]
+        )
+        assert code == 1
+
+    def test_serve_idle_duration_run(self, capsys, tmp_path):
+        # A --duration serve boots, idles, shuts down cleanly, and
+        # writes an (empty) report.
+        report_path = tmp_path / "server.json"
+        code = serve_main(
+            [
+                "--port", "0",
+                "--scene", "office",
+                "--height", "32",
+                "--width", "32",
+                "--bank-frames", "1",
+                "--duration", "0.2",
+                "--report", str(report_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving 'office'" in out
+        rebuilt = ServerReport.from_json(report_path.read_text())
+        assert rebuilt.n_clients == 0
+
+    def test_bad_scene_exits_2(self, capsys):
+        assert serve_main(["--scene", "no-such-scene"]) == 2
+        assert "repro serve:" in capsys.readouterr().err
