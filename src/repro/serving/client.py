@@ -220,91 +220,96 @@ async def _run_connection(config: LoadgenConfig, index: int) -> LoadgenClientRep
         return report()
 
     loop = asyncio.get_running_loop()
-    try:
-        async with asyncio.timeout(config.timeout_s):
-            writer.write(
-                encode_message(Hello(setup=setup, client_name=name))
-            )
-            await writer.drain()
 
-            decoder = MessageDecoder()
-            trace = config.trace
-            t0 = loop.time()
-            virt = 0.0  # emulated-channel finish time of all bytes so far
-            got_welcome = False
-            last_delivery_s = 0.0
+    async def stream() -> None:
+        nonlocal protocol_errors, bytes_received, completed, ladder
+        writer.write(
+            encode_message(Hello(setup=setup, client_name=name))
+        )
+        await writer.drain()
 
-            while True:
-                data = await reader.read(config.chunk_bytes)
-                if not data:
-                    break
-                bytes_received += len(data)
-                if trace is not None:
-                    arrival_s = loop.time() - t0
-                    virt = max(virt, arrival_s)
-                    virt = trace.finish_time_s(virt, 8 * len(data))
-                    delay = (t0 + virt) - loop.time()
-                    if delay > 0:
-                        await asyncio.sleep(delay)
-                    delivery_s = virt
-                else:
-                    delivery_s = loop.time() - t0
-                try:
-                    messages = decoder.feed(data)
-                except ProtocolError:
-                    protocol_errors += 1
-                    break
-                done = False
-                for message in messages:
-                    if isinstance(message, Welcome):
-                        if got_welcome:
-                            protocol_errors += 1
-                        got_welcome = True
-                        ladder = message.ladder
-                    elif isinstance(message, Frame):
-                        rung_name = (
-                            ladder[message.rung]
-                            if message.rung < len(ladder)
-                            else str(message.rung)
-                        )
-                        timings.append(
-                            FrameTiming(
-                                frame_index=message.frame_index,
-                                payload_bits=8 * len(message.payload),
-                                encode_time_s=0.0,
-                                serialization_time_s=max(
-                                    0.0, delivery_s - last_delivery_s
-                                ),
-                                transmit_time_s=max(
-                                    0.0, delivery_s - message.ready_time_s
-                                ),
-                                rung=rung_name,
-                            )
-                        )
-                        last_delivery_s = delivery_s
-                        writer.write(
-                            encode_message(
-                                Ack(
-                                    frame_index=message.frame_index,
-                                    recv_time_s=delivery_s,
-                                )
-                            )
-                        )
-                        await writer.drain()
-                    elif isinstance(message, Bye):
-                        completed = True
-                        done = True
-                    else:
+        decoder = MessageDecoder()
+        trace = config.trace
+        t0 = loop.time()
+        virt = 0.0  # emulated-channel finish time of all bytes so far
+        got_welcome = False
+        last_delivery_s = 0.0
+
+        while True:
+            data = await reader.read(config.chunk_bytes)
+            if not data:
+                break
+            bytes_received += len(data)
+            if trace is not None:
+                arrival_s = loop.time() - t0
+                virt = max(virt, arrival_s)
+                virt = trace.finish_time_s(virt, 8 * len(data))
+                delay = (t0 + virt) - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                delivery_s = virt
+            else:
+                delivery_s = loop.time() - t0
+            try:
+                messages = decoder.feed(data)
+            except ProtocolError:
+                protocol_errors += 1
+                break
+            done = False
+            for message in messages:
+                if isinstance(message, Welcome):
+                    if got_welcome:
                         protocol_errors += 1
-                if done:
-                    break
-            if completed:
-                try:
-                    writer.write(encode_message(Bye(reason="complete")))
+                    got_welcome = True
+                    ladder = message.ladder
+                elif isinstance(message, Frame):
+                    rung_name = (
+                        ladder[message.rung]
+                        if message.rung < len(ladder)
+                        else str(message.rung)
+                    )
+                    timings.append(
+                        FrameTiming(
+                            frame_index=message.frame_index,
+                            payload_bits=8 * len(message.payload),
+                            encode_time_s=0.0,
+                            serialization_time_s=max(
+                                0.0, delivery_s - last_delivery_s
+                            ),
+                            transmit_time_s=max(
+                                0.0, delivery_s - message.ready_time_s
+                            ),
+                            rung=rung_name,
+                        )
+                    )
+                    last_delivery_s = delivery_s
+                    writer.write(
+                        encode_message(
+                            Ack(
+                                frame_index=message.frame_index,
+                                recv_time_s=delivery_s,
+                            )
+                        )
+                    )
                     await writer.drain()
-                except (ConnectionError, OSError):
-                    pass
-    except TimeoutError:
+                elif isinstance(message, Bye):
+                    completed = True
+                    done = True
+                else:
+                    protocol_errors += 1
+            if done:
+                break
+        if completed:
+            try:
+                writer.write(encode_message(Bye(reason="complete")))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+
+    try:
+        # wait_for, not asyncio.timeout(): the support floor is 3.10.
+        await asyncio.wait_for(stream(), config.timeout_s)
+    except asyncio.TimeoutError:
         pass
     except (ConnectionError, OSError):
         pass

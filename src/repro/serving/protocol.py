@@ -322,13 +322,11 @@ def _decode_body(msg_type: int, body: bytes) -> Message:
         data = _decode_json(body, "HELLO")
         try:
             setup = StreamSetup.from_dict(data["setup"])
+            client_name = str(data.get("client_name", ""))
+            version = int(data.get("version", 0))
         except (KeyError, TypeError, ValueError) as exc:
-            raise ProtocolError(f"malformed HELLO setup: {exc}") from exc
-        return Hello(
-            setup=setup,
-            client_name=str(data.get("client_name", "")),
-            version=int(data.get("version", 0)),
-        )
+            raise ProtocolError(f"malformed HELLO body: {exc}") from exc
+        return Hello(setup=setup, client_name=client_name, version=version)
     if msg_type == _TYPE_WELCOME:
         data = _decode_json(body, "WELCOME")
         try:

@@ -90,6 +90,13 @@ class ServeConfig:
         ACKs before closing anyway.
     handshake_timeout_s:
         How long a fresh connection may take to present a valid HELLO.
+    send_stall_timeout_s:
+        Per-frame watchdog on the socket write: a client that keeps
+        the TCP connection open but stops reading blocks ``drain()``
+        indefinitely, which would pin the connection (and its bank
+        payload references) until server shutdown.  A drain stalled
+        this long marks the client gone and aborts the transport.
+        ``None`` disables the watchdog.
     write_buffer_bytes:
         Transport write-buffer high-water mark.  Small values make
         ``drain()`` exert backpressure promptly instead of buffering
@@ -107,6 +114,7 @@ class ServeConfig:
     queue_frames: int = 32
     drain_grace_s: float = 2.0
     handshake_timeout_s: float = 5.0
+    send_stall_timeout_s: float | None = 10.0
     write_buffer_bytes: int | None = 65536
     max_frames: int = 100_000
 
@@ -120,6 +128,11 @@ class ServeConfig:
             raise ValueError(f"deadline_s must be positive, got {self.deadline_s}")
         if self.queue_frames < 1:
             raise ValueError(f"queue_frames must be >= 1, got {self.queue_frames}")
+        if self.send_stall_timeout_s is not None and self.send_stall_timeout_s <= 0:
+            raise ValueError(
+                f"send_stall_timeout_s must be positive, "
+                f"got {self.send_stall_timeout_s}"
+            )
         if self.max_frames < 1:
             raise ValueError(f"max_frames must be >= 1, got {self.max_frames}")
 
@@ -423,11 +436,30 @@ class _Connection:
                 self.queue.put_nowait(frame)
             except asyncio.QueueFull:
                 self._drop(frame, deadline=False)
-        await self.queue.put(None)  # sender sentinel
+        # Sender sentinel.  A healthy sender frees a slot within one
+        # drain-watchdog period, so bound the wait; past it the sender
+        # is wedged or dead, and blocking here would pin the
+        # connection — force the sentinel in instead.
+        grace = self.config.drain_grace_s
+        if self.config.send_stall_timeout_s is not None:
+            grace = max(grace, self.config.send_stall_timeout_s)
+        try:
+            await asyncio.wait_for(self.queue.put(None), grace)
+        except asyncio.TimeoutError:
+            self.client_gone.set()
+            while True:
+                try:
+                    self.queue.put_nowait(None)
+                    return
+                except asyncio.QueueFull:
+                    stale = self.queue.get_nowait()
+                    if stale is not None:
+                        self._drop(stale, deadline=True)
 
     async def send(self) -> None:
         """Drain the queue to the socket, dropping past-deadline frames."""
         deadline_s = self.config.deadline_s
+        stall_s = self.config.send_stall_timeout_s
         while True:
             frame = await self.queue.get()
             if frame is None:
@@ -448,7 +480,21 @@ class _Connection:
             self.send_time_s[frame.frame_index] = self.now_s()
             try:
                 self.writer.write(wire)
-                await self.writer.drain()
+                if stall_s is None:
+                    await self.writer.drain()
+                else:
+                    await asyncio.wait_for(self.writer.drain(), stall_s)
+            except asyncio.TimeoutError:
+                # The client holds the connection open but stopped
+                # reading (no transport-buffer room for this long);
+                # abort rather than stay pinned on an unresponsive
+                # peer.  Must precede the OSError clause: on 3.11+
+                # asyncio.TimeoutError is the builtin TimeoutError,
+                # an OSError subclass.
+                self.client_gone.set()
+                self.writer.transport.abort()
+                self._drop(frame, deadline=True)
+                continue
             except (ConnectionError, OSError):
                 self.client_gone.set()
                 self._drop(frame, deadline=True)
@@ -456,14 +502,16 @@ class _Connection:
             self.bytes_sent += len(wire)
             self.sent += 1
 
-    async def read(self, reader: asyncio.StreamReader) -> None:
-        """Consume ACKs (and a possible client BYE) off the socket."""
-        decoder = MessageDecoder()
+    async def read(self, reader: asyncio.StreamReader, decoder: MessageDecoder) -> None:
+        """Consume ACKs (and a possible client BYE) off the socket.
+
+        ``decoder`` is the handshake's — the first (empty) feed flushes
+        anything the client pipelined in the same TCP segment as its
+        HELLO (an eager ACK, an early BYE) instead of dropping it.
+        """
+        data = b""
         try:
-            while not reader.at_eof():
-                data = await reader.read(4096)
-                if not data:
-                    break
+            while True:
                 for message in decoder.iter_feed(data):
                     if isinstance(message, Ack):
                         self._on_ack(message)
@@ -472,6 +520,11 @@ class _Connection:
                         return
                     else:
                         self.protocol_errors += 1
+                if reader.at_eof():
+                    break
+                data = await reader.read(4096)
+                if not data:
+                    break
         except ProtocolError:
             self.protocol_errors += 1
         except (ConnectionError, OSError):
@@ -623,9 +676,18 @@ class StreamServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _read_hello(self, reader: asyncio.StreamReader) -> Hello:
+    async def _read_hello(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[Hello, MessageDecoder]:
+        """Read the HELLO; return it with the decoder that parsed it.
+
+        The decoder comes back so bytes the client pipelined behind its
+        HELLO stay buffered for :meth:`_Connection.read` instead of
+        being discarded with a throwaway decoder.
+        """
         decoder = MessageDecoder()
-        async with asyncio.timeout(self.config.handshake_timeout_s):
+
+        async def read_hello() -> Hello:
             while True:
                 data = await reader.read(4096)
                 if not data:
@@ -637,6 +699,12 @@ class StreamServer:
                         f"expected HELLO, got {type(message).__name__}"
                     )
 
+        # wait_for, not asyncio.timeout(): the support floor is 3.10.
+        hello = await asyncio.wait_for(
+            read_hello(), self.config.handshake_timeout_s
+        )
+        return hello, decoder
+
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -645,8 +713,8 @@ class StreamServer:
             writer.transport.set_write_buffer_limits(high=config.write_buffer_bytes)
         session = f"session-{next(self._sessions)}"
         try:
-            hello = await self._read_hello(reader)
-        except (ProtocolError, TimeoutError):
+            hello, decoder = await self._read_hello(reader)
+        except (ProtocolError, asyncio.TimeoutError):
             self._handshake_errors += 1
             return
 
@@ -684,7 +752,7 @@ class StreamServer:
         )
         await writer.drain()
 
-        reader_task = asyncio.create_task(connection.read(reader))
+        reader_task = asyncio.create_task(connection.read(reader, decoder))
         sender_task = asyncio.create_task(connection.send())
         try:
             await connection.pace()

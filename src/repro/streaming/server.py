@@ -318,15 +318,32 @@ class FleetReport:
         latencies = [f.motion_to_photon_s for r in self.clients for f in r.frames]
         return float(np.percentile(latencies, percentile))
 
+    def _presence_time_s(self, report: ClientReport) -> float:
+        """Display time ``report`` streamed for, on the pricing clock.
+
+        Backlog pricing ticks each client's own display clock, so a
+        client's presence is its frame count at its own rate
+        (:attr:`ClientReport.active_time_s`).  Legacy round pricing
+        ticks one round clock at the fastest client's rate — every
+        client consumes *rounds*, so its frames count round intervals,
+        not intervals of its own rate.
+        """
+        if self.pricing == "round":
+            round_fps = max(r.target_fps for r in self.clients)
+            return len(report.frames) / round_fps
+        return report.active_time_s
+
     @property
     def horizon_s(self) -> float:
         """Fleet horizon: when the last client's last frame was ready.
 
-        The latest ``start_s + active_time_s`` over the fleet — the
+        The latest ``start_s`` plus presence time over the fleet — the
         duration demand is averaged over in
-        :attr:`link_utilization`.
+        :attr:`link_utilization` — measured on the clock the pricing
+        mode ticks on (per-client display clocks under ``"backlog"``,
+        one round clock under ``"round"``).
         """
-        return max(r.start_s + r.active_time_s for r in self.clients)
+        return max(r.start_s + self._presence_time_s(r) for r in self.clients)
 
     @property
     def link_utilization(self) -> float:
@@ -341,13 +358,18 @@ class FleetReport:
         plain ``mean payload x target fps`` demand.  Values above 1
         mean the link is oversubscribed — some clients necessarily miss
         their targets.  (Traced links use their nominal mean rate.)
+        An empty fleet — no client delivered a single frame — offered
+        no load, so the utilization is 0.
         """
         horizon = self.horizon_s
+        if horizon <= 0:
+            return 0.0
         demand = sum(
             report.mean_payload_bits
             * report.target_fps
-            * (report.active_time_s / horizon)
+            * (presence / horizon)
             for report in self.clients
+            if (presence := self._presence_time_s(report)) > 0
         )
         return demand / (self.link.bandwidth_mbps * 1e6)
 

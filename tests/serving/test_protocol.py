@@ -7,6 +7,7 @@ recover exactly the encoded message sequence regardless of where the
 splits fall.
 """
 
+import json
 import struct
 
 import pytest
@@ -173,6 +174,20 @@ class TestErrors:
     def test_encode_rejects_non_message(self):
         with pytest.raises(TypeError):
             encode_message(object())
+
+    def test_hello_with_non_numeric_version_is_protocol_error(self):
+        # version/client_name coercion belongs to the decoder's error
+        # contract: a bare ValueError would escape every
+        # ``except ProtocolError`` caller and skip poisoning.
+        body = json.dumps(
+            {"setup": StreamSetup(scene="office").to_dict(), "version": "abc"}
+        ).encode()
+        blob = struct.pack(">2sBI", PROTOCOL_MAGIC, 0x01, len(body)) + body
+        decoder = MessageDecoder()
+        with pytest.raises(ProtocolError, match="HELLO"):
+            decoder.feed(blob)
+        with pytest.raises(ProtocolError):
+            decoder.feed(b"")  # poisoned, like every other decode error
 
     def test_hello_version_default(self):
         hello = Hello(setup=StreamSetup(scene="office"))

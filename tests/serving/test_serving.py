@@ -12,6 +12,7 @@ import json
 import pytest
 
 from repro.serving import (
+    Bye,
     FrameBank,
     Hello,
     LoadgenConfig,
@@ -127,6 +128,84 @@ class TestBackpressure:
         # Sustained starvation pins the controller to the min-payload
         # rung.
         assert occupancy.get("perceptual", 0.0) > 0.5
+
+    def test_bye_pipelined_behind_hello_ends_the_stream(self):
+        # A BYE in the same TCP segment as the HELLO must not vanish
+        # with the handshake decoder: the server should end the stream
+        # early instead of pacing all 500 frames at a departed client.
+        async def run():
+            server = StreamServer(ServeConfig(bank=_bank(), port=0))
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                setup = StreamSetup(
+                    scene="synthetic", target_fps=100.0, n_frames=500
+                )
+                writer.write(
+                    encode_message(Hello(setup=setup))
+                    + encode_message(Bye(reason="changed my mind"))
+                )
+                await writer.drain()
+                while await reader.read(4096):  # drain until server closes
+                    pass
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                report = await server.stop()
+            return report
+
+        report = asyncio.run(run())
+        assert report.n_clients == 1
+        assert report.protocol_errors == 0
+        # 500 frames at the 10 KB top rung would be ~5 MB; a server
+        # that saw the BYE stops within the first frames.
+        assert report.clients[0].bytes_sent < 500_000, (
+            "server streamed past the client's BYE"
+        )
+
+    def test_stalled_client_trips_send_watchdog(self):
+        # A client that handshakes and then never reads wedges
+        # ``drain()`` once kernel and transport buffers fill; the
+        # watchdog must abort the connection instead of pinning it
+        # (and its bank payloads) until server shutdown.
+        async def run():
+            config = ServeConfig(
+                bank=_bank(HEAVY_SIZES),
+                port=0,
+                deadline_s=None,
+                queue_frames=4,
+                drain_grace_s=0.2,
+                send_stall_timeout_s=0.3,
+                write_buffer_bytes=4096,
+            )
+            server = StreamServer(config)
+            await server.start()
+            loop = asyncio.get_running_loop()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                setup = StreamSetup(
+                    scene="synthetic", target_fps=100.0, n_frames=200
+                )
+                writer.write(encode_message(Hello(setup=setup)))
+                await writer.drain()
+                # Never read.  Without the watchdog the connection only
+                # finishes at shutdown, so poll the *live* report.
+                deadline = loop.time() + 10.0
+                while server.report().n_clients == 0 and loop.time() < deadline:
+                    await asyncio.sleep(0.05)
+                report = server.report()
+                writer.close()
+            finally:
+                await server.stop()
+            return report
+
+        report = asyncio.run(run())
+        assert report.n_clients == 1, "stalled drain pinned the connection"
+        assert report.clients[0].deadline_drops > 0
 
     def test_unknown_scene_is_rejected_at_handshake(self):
         async def run():

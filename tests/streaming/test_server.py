@@ -3,10 +3,12 @@
 import pytest
 
 from repro.scenes.gaze import GazeSample
+from repro.streaming.engine import FrameTiming
 from repro.streaming.link import WirelessLink
 from repro.streaming.server import (
     SCHEDULER_CHOICES,
     ClientConfig,
+    ClientReport,
     FairShareScheduler,
     FleetReport,
     PriorityScheduler,
@@ -182,6 +184,54 @@ class TestFleetReport:
     def test_utilization_is_demand_over_capacity(self, fleet):
         demand = sum(r.mean_payload_bits * r.target_fps for r in fleet.clients)
         assert fleet.link_utilization == pytest.approx(
+            demand / (SHARED_LINK.bandwidth_mbps * 1e6)
+        )
+
+    def test_zero_frame_fleet_has_zero_utilization(self):
+        # No client delivered a frame: the horizon is zero, and the
+        # fleet offered no load — not a ZeroDivisionError.
+        idle = FleetReport(
+            clients=(
+                ClientReport(encoder="bd", frames=[], target_fps=72.0, name="idle"),
+            ),
+            link=SHARED_LINK,
+            scheduler="fair",
+            n_frames=0,
+        )
+        assert idle.horizon_s == 0.0
+        assert idle.link_utilization == 0.0
+
+    def test_round_pricing_presence_ticks_the_round_clock(self):
+        # Under legacy round pricing every client consumes rounds at
+        # the fastest client's rate, so four frames are four round
+        # intervals — not four intervals of the slow client's own fps.
+        def timings(n):
+            return [
+                FrameTiming(
+                    frame_index=i,
+                    payload_bits=1000,
+                    encode_time_s=0.0,
+                    serialization_time_s=0.001,
+                    transmit_time_s=0.001,
+                )
+                for i in range(n)
+            ]
+
+        clients = (
+            ClientReport(encoder="bd", frames=timings(4), target_fps=20.0, name="fast"),
+            ClientReport(encoder="bd", frames=timings(4), target_fps=10.0, name="slow"),
+        )
+        kwargs = dict(link=SHARED_LINK, scheduler="fair", n_frames=4)
+        round_fleet = FleetReport(clients=clients, pricing="round", **kwargs)
+        backlog_fleet = FleetReport(clients=clients, pricing="backlog", **kwargs)
+        # Round clock: both clients were present for 4 / 20 s.
+        assert round_fleet.horizon_s == pytest.approx(4 / 20.0)
+        # Backlog clock: the slow client's own fps sets its presence.
+        assert backlog_fleet.horizon_s == pytest.approx(4 / 10.0)
+        # Equal presence under round pricing means neither client's
+        # demand is discounted relative to the other.
+        demand = sum(r.mean_payload_bits * r.target_fps for r in clients)
+        assert round_fleet.link_utilization == pytest.approx(
             demand / (SHARED_LINK.bandwidth_mbps * 1e6)
         )
 
