@@ -1,0 +1,47 @@
+"""Project-specific static analysis (``repro lint``).
+
+An AST-based invariant linter for the conventions this codebase
+depends on but no generic tool checks:
+
+* **RPR1xx** — unit-suffix dimensional analysis (``_s`` vs ``_ms`` vs
+  ``_bits`` mixing in arithmetic, call sites, and returns);
+* **RPR2xx** — determinism (no wall clocks or global RNGs in the
+  deterministic packages; seeds flow through
+  ``numpy.random.Generator``/``SeedSequence``);
+* **RPR3xx** — asyncio safety in the serving path (no blocking calls
+  in ``async def``, no dropped tasks, no ``write()`` without
+  ``drain()``);
+* **RPR4xx** — kernel purity (no per-element Python loops in
+  vectorized kernel modules).
+
+Run ``python -m repro.analysis`` (stdlib-only, fast) or ``repro
+lint``.  See ``docs/analysis.md`` for the catalog, suppression, and
+baseline workflow.
+"""
+
+from .driver import (
+    AnalysisReport,
+    check_file,
+    check_source,
+    collect_files,
+    load_baseline,
+    run,
+    write_baseline,
+)
+from .findings import Finding, ModuleContext, RULES, rule_catalog
+from .cli import main
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "ModuleContext",
+    "RULES",
+    "check_file",
+    "check_source",
+    "collect_files",
+    "load_baseline",
+    "main",
+    "rule_catalog",
+    "run",
+    "write_baseline",
+]

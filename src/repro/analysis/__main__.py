@@ -1,0 +1,5 @@
+"""``python -m repro.analysis`` — run the invariant linter."""
+
+from .cli import main
+
+raise SystemExit(main())

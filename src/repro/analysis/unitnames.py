@@ -1,0 +1,84 @@
+"""Unit-suffix vocabulary shared by the RPR1xx dimensional rules.
+
+The codebase's convention: every quantity with a physical dimension
+carries its unit as a trailing name token — ``time_s``, ``jitter_ms``,
+``payload_bits``, ``bandwidth_mbps``.  This module parses that
+convention: :func:`unit_of` maps an identifier to its unit suffix (or
+``None``), and :data:`DIMENSIONS` groups suffixes into dimensions so
+rules can distinguish a *convertible* mismatch (``_s`` vs ``_ms`` —
+same dimension, factor missing) from a *nonsensical* one (``_s`` vs
+``_bits``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["DIMENSIONS", "SUFFIX_DIMENSION", "unit_of", "unit_of_node", "describe"]
+
+#: dimension -> unit suffixes, in the codebase's naming convention.
+DIMENSIONS: dict[str, tuple[str, ...]] = {
+    "time": ("s", "ms", "us", "ns"),
+    "frequency": ("hz", "khz"),
+    "data": ("bits", "bytes"),
+    "data rate": ("bps", "kbps", "mbps", "gbps"),
+    # Compound per-second suffixes used by throughput metrics; listed
+    # so `encode_throughput_mpixels_s` is *not* mistaken for seconds.
+    "pixel rate": ("pixels_s", "mpixels_s"),
+}
+
+#: suffix -> dimension, longest suffixes first so compound suffixes
+#: (``mpixels_s``) win over their tails (``s``).
+SUFFIX_DIMENSION: dict[str, str] = {
+    suffix: dim for dim, suffixes in DIMENSIONS.items() for suffix in suffixes
+}
+
+_ORDERED_SUFFIXES = sorted(SUFFIX_DIMENSION, key=lambda s: -len(s))
+
+
+def unit_of(name: str) -> str | None:
+    """The unit suffix of ``name``, or ``None`` if it carries none.
+
+    A suffix counts only when it is a complete trailing ``_``-token
+    (``start_s`` yes, ``axis`` no, ``n_bits`` yes) and the name is
+    more than the bare suffix (a variable literally named ``s`` or
+    ``bits`` carries no unit claim).
+    """
+    for suffix in _ORDERED_SUFFIXES:
+        if name == suffix:
+            return None
+        if name.endswith("_" + suffix):
+            return suffix
+    return None
+
+
+def unit_of_node(node: ast.AST) -> tuple[str, str] | None:
+    """``(identifier, suffix)`` for a name-like AST node, else ``None``.
+
+    Resolves plain names, terminal attributes (``link.jitter_ms``),
+    and subscripts of either (``times_s[0]`` is still seconds).
+    Calls, arithmetic, and anything else return ``None`` — an
+    expression that *computes* is assumed to convert.
+    """
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        ident = node.id
+    elif isinstance(node, ast.Attribute):
+        ident = node.attr
+    else:
+        return None
+    suffix = unit_of(ident)
+    return (ident, suffix) if suffix else None
+
+
+def describe(suffix_a: str, suffix_b: str) -> str:
+    """Human phrasing of a mismatch for rule messages."""
+    dim_a = SUFFIX_DIMENSION[suffix_a]
+    dim_b = SUFFIX_DIMENSION[suffix_b]
+    if dim_a == dim_b:
+        return (
+            f"both are {dim_a} but in different units; "
+            "convert explicitly (multiply/divide by the factor)"
+        )
+    return f"{dim_a} vs {dim_b} — these quantities are not comparable"

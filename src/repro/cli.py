@@ -167,18 +167,24 @@ def _print_listing() -> None:
     print(f"codecs    : {', '.join(available_codecs())}")
     print(f"streaming : {', '.join(streaming_codec_names())}")
     print("serving   : repro serve / repro loadgen (each has --help)")
+    print("analysis  : repro lint (invariant linter; --list-rules for the catalog)")
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry; returns a process exit code."""
     argv = sys.argv[1:] if argv is None else list(argv)
-    # The serving stack has its own argument surface; dispatch before
-    # the experiment parser sees (and rejects) its flags.
+    # The serving stack and the linter have their own argument
+    # surfaces; dispatch before the experiment parser sees (and
+    # rejects) their flags.
     if argv and argv[0] in ("serve", "loadgen"):
         from .serving.cli import loadgen_main, serve_main
 
         runner = serve_main if argv[0] == "serve" else loadgen_main
         return runner(argv[1:])
+    if argv and argv[0] == "lint":
+        from .analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = _build_parser().parse_args(argv)
 
     if args.experiment == "list":

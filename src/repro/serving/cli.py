@@ -28,12 +28,24 @@ import sys
 
 from ..streaming.adaptive import CONTROLLER_CHOICES
 from ..streaming.traces import parse_trace_spec
-from .client import LoadgenConfig, run_loadgen
+from .client import LoadgenConfig, LoadgenReport, run_loadgen
 from .frames import FrameBank
 from .protocol import StreamSetup
-from .server import ServeConfig, StreamServer
+from .server import ServeConfig, ServerReport, StreamServer
 
 __all__ = ["serve_main", "loadgen_main"]
+
+
+def _write_report(path: str, report) -> None:
+    """Serialize a report to ``path``.
+
+    Sync on purpose: called after ``asyncio.run`` returns, so the
+    blocking file write never shares a thread with the event loop
+    (RPR301/RPR303 stay structurally impossible here).
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(report.to_json())
+    print(f"report written to {path}", flush=True)
 
 
 def _bank_arguments(parser: argparse.ArgumentParser) -> None:
@@ -135,7 +147,7 @@ def serve_main(argv: list[str] | None = None) -> int:
             print(f"repro serve: cannot write --report: {exc}", file=sys.stderr)
             return 2
 
-    async def run_and_report() -> int:
+    async def run_server() -> ServerReport:
         server = StreamServer(config)
         await server.start()
         print(
@@ -154,16 +166,15 @@ def serve_main(argv: list[str] | None = None) -> int:
         await stop.wait()
         report = await server.stop()
         print(report.summary(), flush=True)
-        if report_path:
-            with open(report_path, "w", encoding="utf-8") as handle:
-                handle.write(report.to_json())
-            print(f"report written to {report_path}", flush=True)
-        return 0 if report.protocol_errors == 0 else 1
+        return report
 
     try:
-        return asyncio.run(run_and_report())
+        report = asyncio.run(run_server())
     except KeyboardInterrupt:
         return 130
+    if report_path:
+        _write_report(report_path, report)
+    return 0 if report.protocol_errors == 0 else 1
 
 
 def _loadgen_parser() -> argparse.ArgumentParser:
@@ -257,7 +268,7 @@ def loadgen_main(argv: list[str] | None = None) -> int:
         print(f"repro loadgen: {exc}", file=sys.stderr)
         return 2
 
-    async def run() -> int:
+    async def run() -> LoadgenReport | int:
         server = None
         port = args.port
         if args.spawn_server:
@@ -295,21 +306,22 @@ def loadgen_main(argv: list[str] | None = None) -> int:
         if server is not None:
             server_report = await server.stop()
             print(server_report.summary(), flush=True)
-        if args.report:
-            with open(args.report, "w", encoding="utf-8") as handle:
-                handle.write(report.to_json())
-            print(f"report written to {args.report}", flush=True)
-        failed = (
-            report.protocol_errors > 0
-            or report.frames_received == 0
-            or report.completed_clients == 0
-        )
-        return 1 if failed else 0
+        return report
 
     try:
-        return asyncio.run(run())
+        result = asyncio.run(run())
     except KeyboardInterrupt:
         return 130
+    if isinstance(result, int):
+        return result
+    if args.report:
+        _write_report(args.report, result)
+    failed = (
+        result.protocol_errors > 0
+        or result.frames_received == 0
+        or result.completed_clients == 0
+    )
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry

@@ -1,0 +1,29 @@
+"""Bad fixture for the RPR3xx asyncio-safety rules."""
+
+import asyncio
+import time
+
+
+async def tick() -> None:
+    await asyncio.sleep(0)
+
+
+async def blocking_sleep() -> None:
+    time.sleep(0.1)  # expect: RPR301
+
+
+async def blocking_open(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:  # expect: RPR301
+        return handle.read()
+
+
+async def fire_and_forget() -> None:
+    asyncio.create_task(tick())  # expect: RPR302
+
+
+async def blocking_result(fut: "asyncio.Future[int]") -> int:
+    return fut.result()  # expect: RPR301
+
+
+async def unflushed(writer: asyncio.StreamWriter) -> None:
+    writer.write(b"payload")  # expect: RPR303

@@ -1,0 +1,43 @@
+"""Good fixture for RPR3xx: the loop-safe forms of each bad pattern."""
+
+import asyncio
+
+
+async def tick() -> None:
+    await asyncio.sleep(0)
+
+
+def read_file(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+async def offloaded_open(path: str) -> str:
+    # Wrapping blocking work in a callable for the executor is the
+    # fix, so nested def/lambda bodies are exempt from RPR301.
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, lambda: read_file(path))
+
+
+async def retained_task() -> None:
+    task = asyncio.create_task(tick())
+    await task
+
+
+async def awaited_future(fut: "asyncio.Future[int]") -> int:
+    return await fut
+
+
+async def flushed(writer: asyncio.StreamWriter) -> None:
+    writer.write(b"payload")
+    await writer.drain()
+
+
+async def drain_through_helper(writer: asyncio.StreamWriter) -> None:
+    # Writes in nested sync helpers count toward the enclosing async
+    # function, whose later drain() satisfies RPR303.
+    def enqueue(payload: bytes) -> None:
+        writer.write(payload)
+
+    enqueue(b"payload")
+    await writer.drain()

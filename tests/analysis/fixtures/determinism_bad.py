@@ -1,0 +1,25 @@
+"""Bad fixture for RPR2xx; the corpus test checks it as the module
+``repro.streaming.fixture`` (inside a deterministic package)."""
+
+import random  # expect: RPR202
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.gauss(0.0, 1.0)  # expect: RPR202
+
+
+def now() -> float:
+    return time.time()  # expect: RPR201
+
+
+def stamp():
+    return datetime.now()  # expect: RPR201
+
+
+def legacy_noise(n: int):
+    np.random.seed(7)  # expect: RPR203
+    return np.random.normal(size=n)  # expect: RPR203

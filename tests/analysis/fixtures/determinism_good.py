@@ -1,0 +1,12 @@
+"""Good fixture for RPR2xx: seeds flow through the Generator API."""
+
+import numpy as np
+
+
+def seeded_noise(n: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.normal(size=n)
+
+
+def spawn_generators(seed: int, n: int) -> list[np.random.Generator]:
+    children = np.random.SeedSequence(seed).spawn(n)
+    return [np.random.default_rng(child) for child in children]

@@ -1,0 +1,36 @@
+"""Bad fixture for RPR401: per-element Python loops in a kernel.
+
+The pragma below opts this module into the kernel-purity checks the
+same way a real kernel module outside the configured list would.
+"""
+# repro: kernel-module
+
+import numpy as np
+
+
+def per_element_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    out = np.empty_like(a)
+    for i in range(len(a)):  # expect: RPR401
+        out[i] = a[i] + b[i]
+    return out
+
+
+def row_sums(frame: np.ndarray) -> float:
+    total = 0.0
+    for row in range(frame.shape[0]):  # expect: RPR401
+        total += float(frame[row].sum())
+    return total
+
+
+def direct_iteration(values: np.ndarray) -> float:
+    total = 0.0
+    for value in values:  # expect: RPR401
+        total += float(value)
+    return total
+
+
+def scan(bits: np.ndarray) -> int:
+    i = 0
+    while i < bits.size:  # expect: RPR401
+        i += 1
+    return i

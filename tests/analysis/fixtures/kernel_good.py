@@ -1,0 +1,24 @@
+"""Good fixture for RPR401: bit-plane loops are O(width), not O(n).
+
+This is the shape of the real kernels in ``repro.encoding.packing``:
+the Python loop runs once per *bit position* or per *distinct width*,
+never once per array element.
+"""
+# repro: kernel-module
+
+import numpy as np
+
+
+def bit_plane_pack(values: np.ndarray, width: int) -> np.ndarray:
+    planes = []
+    for j in range(width):
+        planes.append(((values >> (width - 1 - j)) & 1).astype(np.uint8))
+    return np.stack(planes)
+
+
+def by_distinct_width(widths: np.ndarray, values: np.ndarray) -> np.ndarray:
+    out = np.zeros_like(values)
+    for w in np.unique(widths):
+        sel = widths == int(w)
+        out[sel] = values[sel] << int(w)
+    return out

@@ -1,0 +1,41 @@
+"""Bad fixture for the RPR1xx unit-suffix rules.
+
+Every marked line must produce exactly the findings named in its
+``# expect:`` comment; the corpus test matches (line, rule) pairs
+exactly, so a new false positive in this file fails the suite too.
+"""
+
+
+def wait_for(timeout_s: float) -> float:
+    return timeout_s
+
+
+class Link:
+    delay_ms = 2.0
+
+    def wait(self, timeout_s: float) -> float:
+        return timeout_s
+
+    def go(self) -> float:
+        return self.wait(self.delay_ms)  # expect: RPR104
+
+
+def mixed_arithmetic(start_s: float, jitter_ms: float, payload_bits: int) -> float:
+    total = start_s + jitter_ms  # expect: RPR101
+    if payload_bits < start_s:  # expect: RPR101
+        total -= 1.0
+    total_ms = 0.0
+    total_ms += start_s  # expect: RPR101
+    return total + total_ms
+
+
+def keyword_site(delay_ms: float) -> float:
+    return wait_for(timeout_s=delay_ms)  # expect: RPR102
+
+
+def positional_site(delay_ms: float) -> float:
+    return wait_for(delay_ms)  # expect: RPR104
+
+
+def duration_ms(elapsed_s: float) -> float:
+    return elapsed_s  # expect: RPR103

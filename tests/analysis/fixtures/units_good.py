@@ -1,0 +1,29 @@
+"""Good fixture for RPR1xx: conversions are explicit, suffixes agree.
+
+Division/multiplication legitimately change dimension, an arithmetic
+operand counts as its own conversion, and compound per-second
+suffixes (``_mpixels_s``) are not mistaken for seconds.
+"""
+
+
+def wait_for(timeout_s: float) -> float:
+    return timeout_s
+
+
+def consistent(start_s: float, stop_s: float, jitter_ms: float) -> float:
+    elapsed_s = stop_s - start_s
+    elapsed_s += jitter_ms / 1000.0
+    return wait_for(timeout_s=elapsed_s)
+
+
+def rate_bps(payload_bits: int, duration_s: float) -> float:
+    return payload_bits / duration_s
+
+
+def throughput(encode_throughput_mpixels_s: float, budget_mpixels_s: float) -> bool:
+    return encode_throughput_mpixels_s < budget_mpixels_s
+
+
+def positional_ok(timeout_s: float) -> float:
+    other_s = timeout_s
+    return wait_for(other_s)
