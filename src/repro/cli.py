@@ -148,6 +148,24 @@ def _build_parser() -> argparse.ArgumentParser:
              "client's frames behind its own transmit backlog (default); "
              "'round' replays the legacy round-priced engine",
     )
+    fleet_group.add_argument(
+        "--cohorts", action="store_true", default=False,
+        help="fleet only: mean-field fast path — fold statistically "
+             "identical clients into cohorts and advance them in "
+             "O(cohorts) work, with tracer clients proven bit-for-bit "
+             "against the exact engine (enables million-client fleets)",
+    )
+    fleet_group.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="fleet only, with --cohorts: shard cohorts N ways over the "
+             "process pool (results are byte-identical for any N; "
+             "default 1)",
+    )
+    fleet_group.add_argument(
+        "--tracers", type=int, default=None, metavar="N",
+        help="fleet only, with --cohorts: fully-simulated tracer clients "
+             "per cohort (default 1)",
+    )
     return parser
 
 
@@ -234,6 +252,9 @@ def main(argv: list[str] | None = None) -> int:
         "--trace": args.trace,
         "--controller": args.controller,
         "--pricing": args.pricing,
+        "--cohorts": args.cohorts or None,
+        "--shards": args.shards,
+        "--tracers": args.tracers,
     }
     flags_set = [flag for flag, value in fleet_values.items() if value is not None]
     if flags_set and "fleet" not in names:
@@ -254,6 +275,22 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if args.trace is not None and args.bandwidth is not None:
         print("--trace and --bandwidth are mutually exclusive", file=sys.stderr)
+        return 2
+    if (args.shards is not None or args.tracers is not None) and not args.cohorts:
+        print("--shards and --tracers require --cohorts", file=sys.stderr)
+        return 2
+    if args.shards is not None and args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.tracers is not None and args.tracers < 0:
+        print("--tracers must be >= 0", file=sys.stderr)
+        return 2
+    if args.cohorts and args.pricing is not None:
+        print(
+            "--pricing does not apply to --cohorts (contention is priced "
+            "by analytic waterfilling)",
+            file=sys.stderr,
+        )
         return 2
     if args.trace is not None:
         try:
@@ -282,6 +319,9 @@ def main(argv: list[str] | None = None) -> int:
         link=fleet_link,
         controller=args.controller,
         pricing=args.pricing if args.pricing is not None else "backlog",
+        cohorts=args.cohorts,
+        n_shards=args.shards if args.shards is not None else 1,
+        tracers_per_cohort=args.tracers if args.tracers is not None else 1,
     )
 
     config = ExperimentConfig(

@@ -17,17 +17,20 @@ and the aggregate utilization/tail-latency picture.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from math import lcm
 
 import numpy as np
 
 from ..codecs.ladder import QualityLadder
 from ..codecs.registry import resolve_codec_name
 from ..scenes.gaze import saccade_trace
-from ..streaming.adaptive import RateController
+from ..streaming.adaptive import FixedController, RateController, get_controller
+from ..streaming.cohort import CohortFleetReport, CohortSpec, simulate_cohort_fleet
 from ..streaming.link import WIFI6_LINK, WirelessLink
 from ..streaming.server import (
     ClientConfig,
     FleetReport,
+    _encode_streams,
     simulate_fleet,
     solo_sustainable_fps,
 )
@@ -37,8 +40,10 @@ from .common import ExperimentConfig, format_table
 __all__ = [
     "DEFAULT_FLEET_CODECS",
     "FleetResult",
+    "CohortFleetResult",
     "streaming_codec_name",
     "build_fleet_clients",
+    "build_fleet_cohorts",
     "run",
     "run_fleet",
 ]
@@ -108,6 +113,50 @@ class FleetResult:
         )
 
 
+@dataclass(frozen=True)
+class CohortFleetResult:
+    """Per-cohort fleet outcome from the mean-field fast path."""
+
+    report: CohortFleetReport
+
+    def table(self) -> str:
+        """Per-cohort table (plus adaptation columns) and fleet footer."""
+        adaptive = self.report.is_adaptive
+        headers = [
+            "cohort", "scene", "codec", "members",
+            "kB/frame", "fleet fps", "target", "ok",
+        ]
+        if adaptive:
+            headers += ["stall ms", "switches", "quality"]
+        rows = []
+        for summary in self.report.cohorts:
+            row = [
+                summary.name,
+                summary.scene,
+                summary.codec,
+                summary.n_members,
+                summary.mean_payload_bits / 8e3,
+                summary.sustainable_fps,
+                f"{summary.target_fps:g}",
+                "yes" if summary.meets_target else "NO",
+            ]
+            if adaptive:
+                stats = summary.adaptive
+                row += [
+                    stats.stall_time_s * 1e3,
+                    stats.rung_switches,
+                    f"{stats.mean_quality:.3f}",
+                ]
+            rows.append(row)
+        fleet = self.report
+        return format_table(headers, rows, precision=1) + (
+            f"\n{fleet.summary()}"
+            f"\ntotal traffic: {fleet.total_traffic_bits / 8e6:.2f} MB "
+            f"({len(fleet.tracers)} tracer clients) on "
+            f"{fleet.link.bandwidth_mbps:g} Mbps"
+        )
+
+
 def build_fleet_clients(
     config: ExperimentConfig,
     n_clients: int,
@@ -143,6 +192,108 @@ def build_fleet_clients(
     return clients
 
 
+def build_fleet_cohorts(
+    config: ExperimentConfig,
+    n_clients: int,
+    codecs: tuple[str, ...],
+    target_fps: float = 72.0,
+    *,
+    n_jobs: int = 1,
+    controller: str | RateController | None = None,
+    ladder: QualityLadder | None = None,
+    tracers_per_cohort: int = 1,
+) -> list[CohortSpec]:
+    """Fold ``n_clients`` into scene x codec equivalence classes.
+
+    :func:`build_fleet_clients` cycles scenes and codecs over client
+    indices, so the fleet repeats with period ``lcm(n_scenes,
+    n_codecs)`` — every client in a class is statistically identical
+    up to its gaze trace.  This builder renders and encodes **one
+    representative per class** (the class's lowest client index, with
+    that index's gaze seed) and carries the rest as cohort members,
+    which is what makes million-client fleets affordable: encode cost
+    is O(classes), not O(clients).
+
+    Adaptive fleets replicate :func:`~repro.streaming.server.simulate_fleet`'s
+    rung policy exactly: each cohort starts on the rung matching its
+    codec, and a pinned :class:`~repro.streaming.adaptive.FixedController`
+    encodes only the pinned rung.
+    """
+    if n_clients < 1:
+        raise ValueError(f"n_clients must be >= 1, got {n_clients}")
+    if tracers_per_cohort < 0:
+        raise ValueError(
+            f"tracers_per_cohort must be >= 0, got {tracers_per_cohort}"
+        )
+    streaming_names = [streaming_codec_name(name) for name in codecs]
+    scenes = config.scene_names
+    period = lcm(len(scenes), len(streaming_names))
+    n_classes = min(period, n_clients)
+    representatives = []
+    for r in range(n_classes):
+        trace = saccade_trace(
+            duration_s=max(config.n_frames / target_fps, 0.1),
+            rng=np.random.default_rng(config.seed + r),
+        )
+        representatives.append(
+            ClientConfig(
+                name=f"cohort{r:03d}",
+                scene=scenes[r % len(scenes)],
+                codec=streaming_names[r % len(streaming_names)],
+                height=config.height,
+                width=config.width,
+                target_fps=target_fps,
+                gaze_trace=tuple(trace),
+            )
+        )
+    frame_counts = [config.n_frames] * n_classes
+
+    rung_maps: list[tuple[int, ...]] | None = None
+    start_rungs = [0] * n_classes
+    if controller is not None:
+        policy = get_controller(controller)
+        ladder = ladder if ladder is not None else QualityLadder.default()
+        start_rungs = [ladder.index_of(rep.codec) for rep in representatives]
+        if isinstance(policy, FixedController):
+            if policy.rung is None:
+                pinned = start_rungs
+            elif isinstance(policy.rung, str):
+                pinned = [ladder.index_of(policy.rung)] * n_classes
+            else:
+                pinned = [int(policy.rung)] * n_classes
+            rung_maps = [(rung,) for rung in pinned]
+            start_rungs = pinned
+        else:
+            rung_maps = [tuple(range(len(ladder)))] * n_classes
+        streams = _encode_streams(
+            representatives, config.display, frame_counts, n_jobs, ladder, rung_maps
+        )
+    else:
+        streams = _encode_streams(
+            representatives, config.display, frame_counts, n_jobs
+        )
+
+    cohorts = []
+    for r, rep in enumerate(representatives):
+        count = (n_clients - r - 1) // period + 1
+        cohorts.append(
+            CohortSpec(
+                name=rep.name,
+                scene=rep.scene,
+                codec=rep.codec,
+                n_members=count,
+                payloads=tuple(tuple(frame) for frame in streams[r]),
+                n_frames=config.n_frames,
+                target_fps=target_fps,
+                encode_time_s=rep.encode_time_s,
+                n_tracers=min(tracers_per_cohort, count),
+                rung_map=rung_maps[r] if rung_maps is not None else None,
+                start_rung=start_rungs[r],
+            )
+        )
+    return cohorts
+
+
 def run_fleet(
     config: ExperimentConfig | None = None,
     *,
@@ -155,7 +306,10 @@ def run_fleet(
     controller: str | RateController | None = None,
     ladder: QualityLadder | None = None,
     pricing: str = "backlog",
-) -> FleetResult:
+    cohorts: bool = False,
+    n_shards: int = 1,
+    tracers_per_cohort: int = 1,
+) -> FleetResult | CohortFleetResult:
     """Simulate the fleet and compare solo vs contended frame rates.
 
     ``config.codec_names`` cycles over the clients.  By default a name
@@ -171,6 +325,15 @@ def run_fleet(
     this path).  ``pricing`` selects the engine's transport pricing
     (``backlog`` per-stream queueing, or the legacy ``round``; the
     CLI's ``--pricing`` flag feeds it).
+
+    ``cohorts=True`` switches to the mean-field fast path
+    (:mod:`repro.streaming.cohort`): clients fold into scene x codec
+    equivalence classes via :func:`build_fleet_cohorts` and advance in
+    O(classes) work, sharded ``n_shards`` ways with
+    ``tracers_per_cohort`` fully-reported tracer clients each — the
+    mode behind ``repro fleet --clients 1000000 --cohorts``.  Cohort
+    mode prices contention by analytic waterfilling, so it composes
+    with ``controller`` but not with ``pricing="round"``.
     """
     config = config or ExperimentConfig()
     codecs = tuple(config.codec_names or DEFAULT_FLEET_CODECS)
@@ -185,6 +348,35 @@ def run_fleet(
             streamable = [streaming_codec_name(n) for n in DEFAULT_FLEET_CODECS]
     else:
         streamable = [streaming_codec_name(name) for name in codecs]
+    if cohorts:
+        if pricing != "backlog":
+            raise ValueError(
+                "cohort mode prices contention by analytic waterfilling; "
+                "pricing modes do not apply"
+            )
+        specs = build_fleet_cohorts(
+            config,
+            n_clients,
+            tuple(streamable),
+            target_fps,
+            n_jobs=n_jobs,
+            controller=controller,
+            ladder=ladder,
+            tracers_per_cohort=tracers_per_cohort,
+        )
+        report = simulate_cohort_fleet(
+            specs,
+            link,
+            scheduler=scheduler,
+            seed=config.seed,
+            controller=controller,
+            ladder=ladder,
+            n_shards=n_shards,
+            n_jobs=n_jobs,
+        )
+        return CohortFleetResult(report=report)
+    if n_shards != 1 or tracers_per_cohort != 1:
+        raise ValueError("n_shards and tracers_per_cohort require cohorts=True")
     clients = build_fleet_clients(config, n_clients, tuple(streamable), target_fps)
     report = simulate_fleet(
         clients,

@@ -10,6 +10,12 @@ simulator dispatches through (shared with
 :mod:`~repro.streaming.server` a fleet of clients contending for one
 link.  A solo session is a fleet of one: all three public simulators
 are thin wrappers over the same :class:`StreamingEngine`.
+
+For fleets far beyond what per-frame events can carry,
+:mod:`~repro.streaming.cohort` advances groups of statistically
+identical clients in O(cohorts) work — proven against the exact engine
+by tracer clients — with tail latencies rolled up through the
+:mod:`~repro.streaming.sketch` quantile sketch.
 """
 
 from .adaptive import (
@@ -38,6 +44,14 @@ from .engine import (
     StreamOutcome,
     StreamSpec,
 )
+from .cohort import (
+    CohortFleetReport,
+    CohortSpec,
+    CohortSummary,
+    plan_member_links,
+    simulate_cohort_fleet,
+    tracer_seed,
+)
 from .link import WIFI6_LINK, WIGIG_LINK, WirelessLink
 from .reports import (
     REPORT_FORMAT_VERSION,
@@ -64,6 +78,7 @@ from .session import (
     build_streaming_codec,
     simulate_session,
 )
+from .sketch import QuantileSketch
 from .traces import TRACE_SPEC_KINDS, BandwidthTrace, parse_trace_spec
 
 __all__ = [
@@ -114,4 +129,11 @@ __all__ = [
     "register_report_type",
     "report_to_json",
     "report_from_json",
+    "QuantileSketch",
+    "CohortSpec",
+    "CohortSummary",
+    "CohortFleetReport",
+    "plan_member_links",
+    "simulate_cohort_fleet",
+    "tracer_seed",
 ]

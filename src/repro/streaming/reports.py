@@ -44,7 +44,14 @@ __all__ = [
 
 #: Version stamped into every serialized report; bump on breaking
 #: format changes so old payloads fail loudly instead of silently.
-REPORT_FORMAT_VERSION = 1
+#: Version 2 added the ``cohort-fleet`` report type and its quantile-
+#: sketch latency roll-up (see ``docs/fleet-scale.md``).
+REPORT_FORMAT_VERSION = 2
+
+#: Versions :func:`report_from_dict` accepts.  Version-1 payloads are
+#: a strict subset of version 2 (no field changed shape), so old
+#: reports keep loading.
+_SUPPORTED_VERSIONS = frozenset({1, 2})
 
 
 # -- leaf converters ----------------------------------------------------
@@ -181,10 +188,10 @@ def report_from_dict(data: dict[str, Any]) -> Any:
             f"unknown report tag {tag!r}; known tags: {sorted(_REPORT_TYPES)}"
         )
     version = data.get("version")
-    if version != REPORT_FORMAT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise ValueError(
             f"report format version {version!r} not supported "
-            f"(this build reads version {REPORT_FORMAT_VERSION})"
+            f"(this build reads versions {sorted(_SUPPORTED_VERSIONS)})"
         )
     _, _, from_dict = _REPORT_TYPES[tag]
     return from_dict(data)
@@ -299,9 +306,81 @@ def _fleet_from_dict(data: dict[str, Any]):
     )
 
 
+def _cohort_summary_to_dict(summary) -> dict[str, Any]:
+    return {
+        "name": summary.name,
+        "scene": summary.scene,
+        "codec": summary.codec,
+        "n_members": summary.n_members,
+        "n_tracers": summary.n_tracers,
+        "weight": summary.weight,
+        "target_fps": summary.target_fps,
+        "start_s": summary.start_s,
+        "stop_s": summary.stop_s,
+        "frames_streamed": summary.frames_streamed,
+        "member_payload_bits": summary.member_payload_bits,
+        "mean_serialization_s": summary.mean_serialization_s,
+        "encode_time_s": summary.encode_time_s,
+        "member_link": link_to_dict(summary.member_link),
+        "adaptive": adaptive_stats_to_dict(summary.adaptive),
+    }
+
+
+def _cohort_summary_from_dict(data: dict[str, Any]):
+    from .cohort import CohortSummary
+
+    return CohortSummary(
+        name=str(data["name"]),
+        scene=str(data["scene"]),
+        codec=str(data["codec"]),
+        n_members=int(data["n_members"]),
+        n_tracers=int(data["n_tracers"]),
+        weight=float(data["weight"]),
+        target_fps=float(data["target_fps"]),
+        start_s=float(data["start_s"]),
+        stop_s=None if data.get("stop_s") is None else float(data["stop_s"]),
+        frames_streamed=int(data["frames_streamed"]),
+        member_payload_bits=int(data["member_payload_bits"]),
+        mean_serialization_s=float(data["mean_serialization_s"]),
+        encode_time_s=float(data["encode_time_s"]),
+        member_link=link_from_dict(data["member_link"]),
+        adaptive=adaptive_stats_from_dict(data.get("adaptive")),
+    )
+
+
+def _cohort_fleet_to_dict(report) -> dict[str, Any]:
+    return {
+        "cohorts": [_cohort_summary_to_dict(s) for s in report.cohorts],
+        "tracers": [_client_to_dict(t) for t in report.tracers],
+        "link": link_to_dict(report.link),
+        "scheduler": report.scheduler,
+        "seed": report.seed,
+        "latency": report.latency.to_dict(),
+        "controller": report.controller,
+    }
+
+
+def _cohort_fleet_from_dict(data: dict[str, Any]):
+    from .cohort import CohortFleetReport
+    from .sketch import QuantileSketch
+
+    return CohortFleetReport(
+        cohorts=tuple(_cohort_summary_from_dict(s) for s in data["cohorts"]),
+        tracers=tuple(_client_from_dict(t) for t in data["tracers"]),
+        link=link_from_dict(data["link"]),
+        scheduler=str(data["scheduler"]),
+        seed=int(data["seed"]),
+        latency=QuantileSketch.from_dict(data["latency"]),
+        controller=(
+            None if data.get("controller") is None else str(data["controller"])
+        ),
+    )
+
+
 def _register_builtin_types() -> None:
     """Register the simulator reports (deferred: import cycles)."""
     from .adaptive import AdaptiveSessionReport
+    from .cohort import CohortFleetReport
     from .server import ClientReport, FleetReport
     from .session import SessionReport
 
@@ -314,6 +393,12 @@ def _register_builtin_types() -> None:
     )
     register_report_type("client", ClientReport, _client_to_dict, _client_from_dict)
     register_report_type("fleet", FleetReport, _fleet_to_dict, _fleet_from_dict)
+    register_report_type(
+        "cohort-fleet",
+        CohortFleetReport,
+        _cohort_fleet_to_dict,
+        _cohort_fleet_from_dict,
+    )
 
 
 _register_builtin_types()

@@ -50,7 +50,7 @@ Two orthogonal extensions ride on the same kernel:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -76,6 +76,9 @@ from .engine import (
 from .link import WIFI6_LINK, WirelessLink
 from .session import ENCODER_CHOICES, SessionReport, build_streaming_codec
 from .validation import validate_stream_timing, validate_stream_window
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .sketch import QuantileSketch
 
 __all__ = [
     "ClientConfig",
@@ -305,18 +308,45 @@ class FleetReport:
             np.mean([f.motion_to_photon_s for r in self.clients for f in r.frames])
         )
 
-    def tail_latency_s(self, percentile: float = 95.0) -> float:
+    def latency_sketch(self, max_centroids: int = 512) -> "QuantileSketch":
+        """Every frame's motion-to-photon latency as a quantile sketch.
+
+        The sketch is exact (every sample its own centroid) until the
+        frame count exceeds ``max_centroids``, then compresses to
+        constant memory — the representation fleet-scale roll-ups use
+        instead of retaining millions of samples.
+        """
+        from .sketch import QuantileSketch
+
+        sketch = QuantileSketch(max_centroids=max_centroids)
+        for report in self.clients:
+            latencies_s = [f.motion_to_photon_s for f in report.frames]
+            if latencies_s:
+                sketch.add(np.asarray(latencies_s))
+        return sketch
+
+    def tail_latency_s(self, percentile: float = 95.0, *, exact: bool = False) -> float:
         """Latency percentile across every frame of every client.
+
+        Answered from :meth:`latency_sketch`, which defers to
+        ``numpy.percentile`` while uncompressed — so fleets under the
+        default 512-frame budget keep their historic exact values bit
+        for bit (pinned in ``tests/cohort/test_fleet_report_migration.py``).
 
         Parameters
         ----------
         percentile:
             Percentile in ``(0, 100]``.
+        exact:
+            Force the legacy exact path: materialize every sample and
+            take ``numpy.percentile`` directly, whatever the size.
         """
         if not 0 < percentile <= 100:
             raise ValueError(f"percentile must be in (0, 100], got {percentile}")
-        latencies = [f.motion_to_photon_s for r in self.clients for f in r.frames]
-        return float(np.percentile(latencies, percentile))
+        if exact:
+            latencies = [f.motion_to_photon_s for r in self.clients for f in r.frames]
+            return float(np.percentile(latencies, percentile))
+        return self.latency_sketch().quantile(percentile / 100.0)
 
     def _presence_time_s(self, report: ClientReport) -> float:
         """Display time ``report`` streamed for, on the pricing clock.

@@ -1,0 +1,93 @@
+"""worker_pool edge cases the cohort engine leans on.
+
+Sharded fleets submit cohort state across the process boundary; these
+tests pin the behaviours that failure would turn into hangs or corrupt
+merges: pools wider than the work, exceptions propagating instead of
+deadlocking, and every cohort payload type surviving pickling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel import worker_pool
+from repro.streaming.cohort import CohortSpec, simulate_cohort_fleet
+from repro.streaming.link import WirelessLink
+from repro.streaming.sketch import QuantileSketch
+from repro.streaming.traces import BandwidthTrace
+
+
+def _echo(value):
+    """Module-level so the pool can pickle it by qualified name."""
+    return value
+
+
+def _square(value):
+    return value * value
+
+
+def _boom(message):
+    raise RuntimeError(message)
+
+
+def test_pool_wider_than_the_work():
+    """n_workers far beyond the task count must not stall or reorder."""
+    with worker_pool(8) as pool:
+        results = list(pool.map(_square, range(3)))
+    assert results == [0, 1, 4]
+
+
+def test_fleet_n_jobs_beyond_shard_count():
+    specs = [
+        CohortSpec(
+            name=f"tiny{i}", n_members=10, payloads=((50_000,),), n_frames=2,
+        )
+        for i in range(3)
+    ]
+    link = WirelessLink(bandwidth_mbps=200.0, propagation_ms=3.0)
+    report = simulate_cohort_fleet(specs, link, seed=0, n_shards=2, n_jobs=16)
+    assert report.n_clients == 30
+
+
+def test_worker_exception_propagates_without_hanging():
+    """A worker raising mid-task must surface through future.result()
+    — promptly, and without wedging the sibling task."""
+    with worker_pool(2) as pool:
+        doomed = pool.submit(_boom, "cohort shard failed")
+        healthy = pool.submit(_square, 6)
+        with pytest.raises(RuntimeError, match="cohort shard failed"):
+            doomed.result(timeout=60)
+        assert healthy.result(timeout=60) == 36
+
+
+def test_cohort_payloads_survive_pickling():
+    """Everything a shard ships across the boundary: numpy state
+    arrays, frozen specs, sketches, and traced links."""
+    spec = CohortSpec(
+        name="pickled",
+        n_members=12,
+        payloads=((90_000,), (70_000,)),
+        n_frames=3,
+        rung_map=(0,),
+    )
+    sketch = QuantileSketch()
+    sketch.add(np.asarray([0.01, 0.02, 0.03]), weight=4.0)
+    link = WirelessLink.traced(
+        BandwidthTrace.step_down(before_mbps=200.0, after_mbps=50.0, at_s=0.05),
+        propagation_ms=3.0,
+        jitter_ms=0.2,
+    )
+    state = np.linspace(0.0, 1.0, 7)
+
+    with worker_pool(2) as pool:
+        spec_back = pool.submit(_echo, spec).result(timeout=60)
+        sketch_back = pool.submit(_echo, sketch).result(timeout=60)
+        link_back = pool.submit(_echo, link).result(timeout=60)
+        state_back = pool.submit(_echo, state).result(timeout=60)
+
+    assert spec_back == spec
+    assert sketch_back == sketch
+    assert link_back.at(0.1) == link.at(0.1)
+    assert link_back.jitter_ms == link.jitter_ms
+    np.testing.assert_array_equal(state_back, state)

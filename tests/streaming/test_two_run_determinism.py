@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.streaming.cohort import CohortSpec, simulate_cohort_fleet
 from repro.streaming.link import WirelessLink
 from repro.streaming.reports import report_to_json
 from repro.streaming.server import ClientConfig, simulate_fleet
@@ -63,3 +64,38 @@ def test_different_seeds_diverge():
     b = simulate_fleet(small_fleet(), JITTERY_LINK, n_frames=2, seed=12)
     if report_to_json(a) == report_to_json(b):
         pytest.fail("seed does not reach the simulated timeline")
+
+
+def small_cohort_fleet():
+    """A jitter-heavy cohort fleet: tracer RNG and the vectorized bulk
+    jitter draws both feed the serialized report."""
+    return [
+        CohortSpec(
+            name=f"g{i}",
+            n_members=30 + 7 * i,
+            payloads=((90_000 - 20_000 * i,), (70_000,)),
+            n_frames=3,
+            target_fps=72.0,
+            weight=1.0 + 0.5 * i,
+            n_tracers=2,
+        )
+        for i in range(3)
+    ]
+
+
+def test_two_cohort_runs_serialize_byte_identically():
+    reports = [
+        simulate_cohort_fleet(small_cohort_fleet(), JITTERY_LINK, seed=11)
+        for _ in range(2)
+    ]
+    first, second = (report_to_json(r).encode("utf-8") for r in reports)
+    assert first == second
+
+
+def test_cohort_seeds_diverge():
+    """Same vacuous-pass guard for the cohort fast path: the seed must
+    reach both the tracers and the bulk jitter roll-up."""
+    a = simulate_cohort_fleet(small_cohort_fleet(), JITTERY_LINK, seed=11)
+    b = simulate_cohort_fleet(small_cohort_fleet(), JITTERY_LINK, seed=12)
+    if report_to_json(a) == report_to_json(b):
+        pytest.fail("seed does not reach the cohort fast path")
