@@ -269,10 +269,10 @@ def run(
     rule_tuple = tuple(rules) if rules is not None else None
     work = [(str(f), str(root), rule_tuple) for f in files]
     if jobs > 1 and len(files) > 1:
-        from ..parallel import worker_pool
+        from ..parallel import pool_map, worker_pool
 
         with worker_pool(min(jobs, len(files))) as pool:
-            per_file = list(pool.map(_check_one, work, chunksize=8))
+            per_file = pool_map(pool, _check_one, work, chunksize=8)
     else:
         per_file = [_check_one(item) for item in work]
 

@@ -54,6 +54,7 @@ from .experiments.quality import (
 )
 from .streaming.adaptive import CONTROLLER_CHOICES
 from .streaming.link import WIFI6_LINK, WirelessLink
+from .streaming.loss import RECOVERY_CHOICES, parse_loss_spec
 from .streaming.server import SCHEDULER_CHOICES
 from .streaming.traces import parse_trace_spec
 from .streaming.validation import PRICING_MODES
@@ -136,6 +137,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fleet only: time-varying link bandwidth, e.g. step:400:100:5 "
              "(high:low Mbps, 5 s per phase), const:MBPS, "
              "markov:HIGH:LOW:P[:SEED], or file:PATH",
+    )
+    fleet_group.add_argument(
+        "--loss", default=None, metavar="SPEC",
+        help="fleet only: packet-loss model on the link — bern:P "
+             "(Bernoulli) or ge:P_ENTER:MEAN_BURST[:P_LOSS_BAD[:P_LOSS_GOOD]] "
+             "(Gilbert-Elliott burst loss)",
+    )
+    fleet_group.add_argument(
+        "--recovery", choices=RECOVERY_CHOICES, default=None,
+        help="fleet only, with --loss: loss-recovery policy — arq "
+             "(retransmit under backoff; default), fec (fixed-overhead "
+             "parity), or skip (drop and I-frame resync)",
     )
     fleet_group.add_argument(
         "--controller", choices=CONTROLLER_CHOICES, default=None,
@@ -250,6 +263,8 @@ def main(argv: list[str] | None = None) -> int:
         "--scheduler": args.scheduler,
         "--bandwidth": args.bandwidth,
         "--trace": args.trace,
+        "--loss": args.loss,
+        "--recovery": args.recovery,
         "--controller": args.controller,
         "--pricing": args.pricing,
         "--cohorts": args.cohorts or None,
@@ -292,6 +307,17 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.recovery is not None and args.loss is None:
+        print("--recovery requires --loss (a lossless link needs no recovery)",
+              file=sys.stderr)
+        return 2
+    loss_trace = None
+    if args.loss is not None:
+        try:
+            loss_trace = parse_loss_spec(args.loss)
+        except ValueError as exc:
+            print(f"bad --loss value: {exc}", file=sys.stderr)
+            return 2
     if args.trace is not None:
         try:
             # Same propagation as the WiFi6 default so trace sweeps
@@ -299,6 +325,7 @@ def main(argv: list[str] | None = None) -> int:
             fleet_link = WirelessLink.traced(
                 parse_trace_spec(args.trace),
                 propagation_ms=WIFI6_LINK.propagation_ms,
+                loss=loss_trace,
             )
         except (ValueError, OSError) as exc:
             print(f"bad --trace value: {exc}", file=sys.stderr)
@@ -309,6 +336,13 @@ def main(argv: list[str] | None = None) -> int:
         fleet_link = WirelessLink(
             bandwidth_mbps=args.bandwidth,
             propagation_ms=WIFI6_LINK.propagation_ms,
+            loss=loss_trace,
+        )
+    elif loss_trace is not None:
+        fleet_link = WirelessLink(
+            bandwidth_mbps=WIFI6_LINK.bandwidth_mbps,
+            propagation_ms=WIFI6_LINK.propagation_ms,
+            loss=loss_trace,
         )
     else:
         fleet_link = WIFI6_LINK
@@ -318,6 +352,7 @@ def main(argv: list[str] | None = None) -> int:
         scheduler=args.scheduler if args.scheduler is not None else "fair",
         link=fleet_link,
         controller=args.controller,
+        recovery=args.recovery,
         pricing=args.pricing if args.pricing is not None else "backlog",
         cohorts=args.cohorts,
         n_shards=args.shards if args.shards is not None else 1,

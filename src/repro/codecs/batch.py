@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
-from ..parallel import worker_pool
+from ..parallel import gather, worker_pool
 from .base import Codec, EncodedFrame
 from .context import FrameContext
 from .registry import get_codec, resolve_codec_name
@@ -110,7 +110,7 @@ def _encode_parallel(
     chunks = [ctxs[bounds[i] : bounds[i + 1]] for i in range(n_chunks)]
     with worker_pool(n_chunks) as pool:
         futures = [pool.submit(_encode_chunk, codecs, chunk) for chunk in chunks]
-        parts = [future.result() for future in futures]
+        parts = gather(futures)
     return {
         key: [frame for part in parts for frame in part[key]]
         for key, _ in codecs

@@ -306,6 +306,7 @@ def run_fleet(
     controller: str | RateController | None = None,
     ladder: QualityLadder | None = None,
     pricing: str = "backlog",
+    recovery: str | None = None,
     cohorts: bool = False,
     n_shards: int = 1,
     tracers_per_cohort: int = 1,
@@ -325,6 +326,11 @@ def run_fleet(
     this path).  ``pricing`` selects the engine's transport pricing
     (``backlog`` per-stream queueing, or the legacy ``round``; the
     CLI's ``--pricing`` flag feeds it).
+
+    ``recovery`` names the loss-recovery policy (``arq``, ``fec``, or
+    ``skip``; the CLI's ``--recovery`` flag feeds it) and requires a
+    link with a :class:`~repro.streaming.loss.LossTrace` attached —
+    ``None`` on a lossy link defaults to ARQ.
 
     ``cohorts=True`` switches to the mean-field fast path
     (:mod:`repro.streaming.cohort`): clients fold into scene x codec
@@ -371,6 +377,7 @@ def run_fleet(
             seed=config.seed,
             controller=controller,
             ladder=ladder,
+            recovery=recovery,
             n_shards=n_shards,
             n_jobs=n_jobs,
         )
@@ -389,6 +396,7 @@ def run_fleet(
         controller=controller,
         ladder=ladder,
         pricing=pricing,
+        recovery=recovery,
     )
     solo = {
         client.name: solo_sustainable_fps(client, link)

@@ -12,16 +12,76 @@ bit-identical to its serial equivalent.
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence
 
-__all__ = ["worker_pool"]
+__all__ = ["worker_pool", "gather", "pool_map", "BrokenPoolError"]
+
+
+class BrokenPoolError(RuntimeError):
+    """A pool worker died before finishing its task.
+
+    The usual culprit is the OS killing a worker outright — the Linux
+    OOM killer under memory pressure, a container runtime enforcing a
+    limit, or an explicit SIGKILL.  The pool cannot recover the lost
+    work, so callers fail fast with this error instead of returning
+    partial results.
+    """
+
+
+_BROKEN_POOL_HINT = (
+    "a worker process died before finishing its task (likely killed by "
+    "the OS: out-of-memory, container limit, or an explicit signal); "
+    "retry with fewer workers (lower n_jobs) or a smaller per-task "
+    "footprint"
+)
 
 
 def worker_pool(n_workers: int) -> ProcessPoolExecutor:
-    """A process pool of ``n_workers``, preferring cheap fork start-up."""
+    """A process pool of ``n_workers``, preferring cheap fork start-up.
+
+    Collect results through :func:`gather` or :func:`pool_map` so a
+    worker killed mid-task surfaces as :class:`BrokenPoolError` instead
+    of a bare ``BrokenProcessPool``.
+    """
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
     return ProcessPoolExecutor(
         max_workers=n_workers, mp_context=multiprocessing.get_context(method)
     )
+
+
+def gather(futures: Sequence[Future]) -> list:
+    """Results of submitted futures, in submission order.
+
+    Raises
+    ------
+    BrokenPoolError
+        If a worker process died (OOM kill, SIGKILL, hard crash)
+        before the work completed.
+    """
+    try:
+        return [future.result() for future in futures]
+    except BrokenProcessPool as exc:
+        raise BrokenPoolError(_BROKEN_POOL_HINT) from exc
+
+
+def pool_map(
+    pool: ProcessPoolExecutor,
+    fn: Callable,
+    *iterables: Iterable,
+    chunksize: int = 1,
+) -> list:
+    """``list(pool.map(...))`` with broken-worker translation.
+
+    Raises
+    ------
+    BrokenPoolError
+        If a worker process died before the map completed.
+    """
+    try:
+        return list(pool.map(fn, *iterables, chunksize=chunksize))
+    except BrokenProcessPool as exc:
+        raise BrokenPoolError(_BROKEN_POOL_HINT) from exc

@@ -15,13 +15,18 @@ over real sockets and measures it:
   rung selection through the *same*
   :class:`~repro.streaming.engine.AdaptationState` the simulators use;
 * :mod:`~repro.serving.client` — the load generator: N concurrent
-  connections with trace-shaped read throttling and per-frame ACKs.
+  connections with trace-shaped read throttling, per-frame ACKs, and
+  optional backoff-paced reconnection after mid-stream losses;
+* :mod:`~repro.serving.chaos` — fault injection: a
+  :class:`ChaosConfig` that drops, delays, or resets outgoing frames
+  so the reconnect/resync path is exercised against real sockets.
 
 ``repro serve`` and ``repro loadgen`` expose both ends on the command
 line; reports serialize through :mod:`repro.streaming.reports`, so
 simulated and served metrics diff with the same tooling.
 """
 
+from .chaos import CHAOS_ACTIONS, ChaosConfig, ChaosInjector, parse_chaos_spec
 from .client import LoadgenClientReport, LoadgenConfig, LoadgenReport, run_loadgen
 from .frames import FrameBank, filler_payload
 from .protocol import (
@@ -65,4 +70,8 @@ __all__ = [
     "LoadgenClientReport",
     "LoadgenReport",
     "run_loadgen",
+    "ChaosConfig",
+    "ChaosInjector",
+    "parse_chaos_spec",
+    "CHAOS_ACTIONS",
 ]

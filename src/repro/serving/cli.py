@@ -28,6 +28,7 @@ import sys
 
 from ..streaming.adaptive import CONTROLLER_CHOICES
 from ..streaming.traces import parse_trace_spec
+from .chaos import parse_chaos_spec
 from .client import LoadgenConfig, LoadgenReport, run_loadgen
 from .frames import FrameBank
 from .protocol import StreamSetup
@@ -102,6 +103,11 @@ def _serve_parser() -> argparse.ArgumentParser:
         "--queue", type=int, default=32, metavar="FRAMES",
         help="per-client send-queue capacity",
     )
+    policy.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="fault injection on outgoing frames, e.g. "
+             "drop=0.05,delay=0.1:25,reset=0.02,seed=7",
+    )
     parser.add_argument(
         "--duration", type=float, default=None, metavar="S",
         help="shut down after this long (default: run until SIGINT)",
@@ -123,6 +129,7 @@ def _serve_config(args: argparse.Namespace, bank: FrameBank) -> ServeConfig:
         phy_trace=trace,
         deadline_s=None if args.deadline == 0 else args.deadline,
         queue_frames=args.queue,
+        chaos=parse_chaos_spec(args.chaos) if args.chaos else None,
     )
 
 
@@ -174,7 +181,9 @@ def serve_main(argv: list[str] | None = None) -> int:
         return 130
     if report_path:
         _write_report(report_path, report)
-    return 0 if report.protocol_errors == 0 else 1
+    # `clean` also covers handshake errors and unclean (cancelled)
+    # stream shutdowns — injected chaos never counts against it.
+    return 0 if report.clean else 1
 
 
 def _loadgen_parser() -> argparse.ArgumentParser:
@@ -215,7 +224,12 @@ def _loadgen_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--timeout", type=float, default=60.0, metavar="S",
-        help="per-connection overall timeout",
+        help="per-client overall timeout, spanning reconnect attempts",
+    )
+    parser.add_argument(
+        "--reconnects", type=int, default=0, metavar="N",
+        help="reconnect attempts per client after a mid-stream loss "
+             "(capped exponential backoff between attempts)",
     )
     parser.add_argument(
         "--report", default=None, metavar="PATH",
@@ -241,6 +255,11 @@ def _loadgen_parser() -> argparse.ArgumentParser:
     spawn.add_argument(
         "--deadline", type=float, default=0.25, metavar="S",
         help="spawned server's frame deadline (0 disables)",
+    )
+    spawn.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="spawned server's fault injection, e.g. "
+             "drop=0.05,delay=0.1:25,reset=0.02,seed=7",
     )
     return parser
 
@@ -268,7 +287,7 @@ def loadgen_main(argv: list[str] | None = None) -> int:
         print(f"repro loadgen: {exc}", file=sys.stderr)
         return 2
 
-    async def run() -> LoadgenReport | int:
+    async def run() -> "tuple[LoadgenReport, ServerReport | None] | int":
         server = None
         port = args.port
         if args.spawn_server:
@@ -284,6 +303,7 @@ def loadgen_main(argv: list[str] | None = None) -> int:
                     nominal_bandwidth_mbps=args.server_bandwidth,
                     phy_trace=server_trace,
                     deadline_s=None if args.deadline == 0 else args.deadline,
+                    chaos=parse_chaos_spec(args.chaos) if args.chaos else None,
                 )
             except (ValueError, KeyError, OSError) as exc:
                 print(f"repro loadgen: {exc}", file=sys.stderr)
@@ -300,13 +320,15 @@ def loadgen_main(argv: list[str] | None = None) -> int:
             trace=trace,
             chunk_bytes=args.chunk,
             timeout_s=args.timeout,
+            max_reconnects=args.reconnects,
         )
         report = await run_loadgen(config)
         print(report.summary(), flush=True)
+        server_report = None
         if server is not None:
             server_report = await server.stop()
             print(server_report.summary(), flush=True)
-        return report
+        return report, server_report
 
     try:
         result = asyncio.run(run())
@@ -314,12 +336,14 @@ def loadgen_main(argv: list[str] | None = None) -> int:
         return 130
     if isinstance(result, int):
         return result
+    report, server_report = result
     if args.report:
-        _write_report(args.report, result)
+        _write_report(args.report, report)
     failed = (
-        result.protocol_errors > 0
-        or result.frames_received == 0
-        or result.completed_clients == 0
+        report.protocol_errors > 0
+        or report.frames_received == 0
+        or report.completed_clients == 0
+        or (server_report is not None and not server_report.clean)
     )
     return 1 if failed else 0
 

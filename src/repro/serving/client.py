@@ -31,6 +31,7 @@ from typing import Any
 import numpy as np
 
 from ..streaming.engine import FrameTiming
+from ..streaming.loss import Backoff
 from ..streaming.server import ClientReport
 from ..streaming.traces import BandwidthTrace
 from .protocol import (
@@ -71,8 +72,20 @@ class LoadgenConfig:
         Delay between successive connection openings, avoiding a
         thundering-herd handshake.
     timeout_s:
-        Per-connection overall timeout (handshake through BYE); a
-        connection past it reports what it has.
+        Per-client overall timeout (handshake through BYE, spanning
+        every reconnect attempt); a client past it reports what it
+        has.
+    max_reconnects:
+        How many times a client may reconnect after losing its
+        connection mid-stream (reset, EOF before BYE, refused
+        connect).  ``0`` (default) keeps the historical
+        single-connection behavior; chaos runs set it so clients ride
+        out injected resets.
+    backoff:
+        The capped exponential :class:`~repro.streaming.loss.Backoff`
+        paced between reconnect attempts — the *same* policy class the
+        simulator's ARQ recovery uses, so simulated and served
+        retry schedules share one definition.
     """
 
     host: str = "127.0.0.1"
@@ -83,6 +96,8 @@ class LoadgenConfig:
     chunk_bytes: int = 4096
     connect_stagger_s: float = 0.002
     timeout_s: float = 60.0
+    max_reconnects: int = 0
+    backoff: Backoff = field(default_factory=lambda: Backoff(base_s=0.05, factor=2.0, max_s=1.0))
 
     def __post_init__(self):
         if self.n_clients < 1:
@@ -91,6 +106,10 @@ class LoadgenConfig:
             raise ValueError(f"chunk_bytes must be >= 64, got {self.chunk_bytes}")
         if self.timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.max_reconnects < 0:
+            raise ValueError(
+                f"max_reconnects must be >= 0, got {self.max_reconnects}"
+            )
 
 
 @dataclass(frozen=True)
@@ -111,11 +130,22 @@ class LoadgenClientReport(ClientReport):
     completed:
         Whether the stream ended with the server's BYE (as opposed to
         a timeout or connection error).
+    reconnects:
+        Connections re-established after a mid-stream loss (requires
+        ``max_reconnects > 0`` in the config).
+    resyncs:
+        Discontinuities in the delivered frame-index sequence — a
+        dropped frame or a post-reconnect restart, i.e. every point a
+        real decoder would need an I-frame resync.  The served
+        counterpart of
+        :attr:`repro.streaming.loss.LossStats.resyncs`.
     """
 
     protocol_errors: int = 0
     bytes_received: int = 0
     completed: bool = False
+    reconnects: int = 0
+    resyncs: int = 0
 
 
 @dataclass(frozen=True)
@@ -150,6 +180,16 @@ class LoadgenReport:
         """Connections that ended with the server's BYE."""
         return sum(r.completed for r in self.clients)
 
+    @property
+    def total_reconnects(self) -> int:
+        """Reconnections across every client."""
+        return sum(r.reconnects for r in self.clients)
+
+    @property
+    def total_resyncs(self) -> int:
+        """Frame-sequence discontinuities across every client."""
+        return sum(r.resyncs for r in self.clients)
+
     def tail_latency_s(self, percentile: float = 95.0) -> float:
         """Client-observed delivery-latency percentile across frames."""
         if not 0 < percentile <= 100:
@@ -164,7 +204,7 @@ class LoadgenReport:
         goodput = 0.0
         if self.duration_s > 0:
             goodput = 8 * self.bytes_received / self.duration_s / 1e6
-        return (
+        text = (
             f"{self.completed_clients}/{self.n_clients} clients completed | "
             f"{self.frames_received} frames | "
             f"{self.bytes_received / 2**20:.1f} MiB "
@@ -172,6 +212,12 @@ class LoadgenReport:
             f"{self.protocol_errors} protocol errors | "
             f"p95 delivery latency {self.tail_latency_s(95.0) * 1e3:.2f} ms"
         )
+        if self.total_reconnects or self.total_resyncs:
+            text += (
+                f" | {self.total_reconnects} reconnects | "
+                f"{self.total_resyncs} resyncs"
+            )
+        return text
 
     def to_json(self, indent: int | None = 2) -> str:
         """Serialize through :mod:`repro.streaming.reports`."""
@@ -193,13 +239,24 @@ class LoadgenReport:
 
 
 async def _run_connection(config: LoadgenConfig, index: int) -> LoadgenClientReport:
-    """One client: connect, handshake, consume at the traced pace."""
+    """One client: connect, handshake, consume at the traced pace.
+
+    With ``max_reconnects > 0`` a connection lost mid-stream (reset,
+    truncated frame, refused connect) is retried under the config's
+    capped-exponential backoff; the overall ``timeout_s`` budget spans
+    every attempt.  Frame rows accumulate across attempts, and every
+    discontinuity in the delivered frame-index sequence counts one
+    resync.
+    """
     name = f"loadgen-{index}"
     setup = config.setup
     timings: list[FrameTiming] = []
     protocol_errors = 0
     bytes_received = 0
     completed = False
+    reconnects = 0
+    resyncs = 0
+    prev_frame_index: int | None = None
     ladder: tuple[str, ...] = ()
 
     def report() -> LoadgenClientReport:
@@ -212,17 +269,15 @@ async def _run_connection(config: LoadgenConfig, index: int) -> LoadgenClientRep
             protocol_errors=protocol_errors,
             bytes_received=bytes_received,
             completed=completed,
+            reconnects=reconnects,
+            resyncs=resyncs,
         )
-
-    try:
-        reader, writer = await asyncio.open_connection(config.host, config.port)
-    except (ConnectionError, OSError):
-        return report()
 
     loop = asyncio.get_running_loop()
 
-    async def stream() -> None:
+    async def stream(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         nonlocal protocol_errors, bytes_received, completed, ladder
+        nonlocal resyncs, prev_frame_index
         writer.write(
             encode_message(Hello(setup=setup, client_name=name))
         )
@@ -263,6 +318,12 @@ async def _run_connection(config: LoadgenConfig, index: int) -> LoadgenClientRep
                     got_welcome = True
                     ladder = message.ladder
                 elif isinstance(message, Frame):
+                    if (
+                        prev_frame_index is not None
+                        and message.frame_index != prev_frame_index + 1
+                    ):
+                        resyncs += 1
+                    prev_frame_index = message.frame_index
                     rung_name = (
                         ladder[message.rung]
                         if message.rung < len(ladder)
@@ -306,19 +367,38 @@ async def _run_connection(config: LoadgenConfig, index: int) -> LoadgenClientRep
             except (ConnectionError, OSError):
                 pass
 
-    try:
-        # wait_for, not asyncio.timeout(): the support floor is 3.10.
-        await asyncio.wait_for(stream(), config.timeout_s)
-    except asyncio.TimeoutError:
-        pass
-    except (ConnectionError, OSError):
-        pass
-    finally:
-        writer.close()
+    deadline = loop.time() + config.timeout_s
+    attempt = 0
+    while True:
+        writer = None
         try:
-            await writer.wait_closed()
+            reader, writer = await asyncio.open_connection(config.host, config.port)
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            # wait_for, not asyncio.timeout(): the support floor is 3.10.
+            await asyncio.wait_for(stream(reader, writer), remaining)
+        except asyncio.TimeoutError:
+            break
         except (ConnectionError, OSError):
             pass
+        finally:
+            if writer is not None:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+        if completed:
+            break
+        attempt += 1
+        if attempt > config.max_reconnects:
+            break
+        delay = config.backoff.delay_s(attempt)
+        if loop.time() + delay >= deadline:
+            break
+        await asyncio.sleep(delay)
+        reconnects += 1
     return report()
 
 
@@ -343,12 +423,17 @@ async def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
 def _loadgen_client_to_dict(report: LoadgenClientReport) -> dict[str, Any]:
     from ..streaming.reports import _client_to_dict
 
-    return {
+    data = {
         **_client_to_dict(report),
         "protocol_errors": report.protocol_errors,
         "bytes_received": report.bytes_received,
         "completed": report.completed,
     }
+    if report.reconnects:
+        data["reconnects"] = report.reconnects
+    if report.resyncs:
+        data["resyncs"] = report.resyncs
+    return data
 
 
 def _loadgen_client_from_dict(data: dict[str, Any]) -> LoadgenClientReport:
@@ -365,6 +450,8 @@ def _loadgen_client_from_dict(data: dict[str, Any]) -> LoadgenClientReport:
         protocol_errors=int(data.get("protocol_errors", 0)),
         bytes_received=int(data.get("bytes_received", 0)),
         completed=bool(data.get("completed", False)),
+        reconnects=int(data.get("reconnects", 0)),
+        resyncs=int(data.get("resyncs", 0)),
     )
 
 

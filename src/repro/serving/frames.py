@@ -30,7 +30,7 @@ from typing import Sequence
 
 from ..codecs.context import FrameContext
 from ..codecs.ladder import QualityLadder
-from ..parallel import worker_pool
+from ..parallel import pool_map, worker_pool
 from ..scenes.display import QUEST2_DISPLAY, DisplayGeometry
 from ..scenes.library import Scene, get_scene
 from ..streaming.engine import FrameSource
@@ -248,16 +248,15 @@ class FrameBank(FrameSource):
                 for rung in ladder
             )
             with worker_pool(min(n_jobs, n_frames)) as pool:
-                results = list(
-                    pool.map(
-                        _encode_frame_by_name,
-                        [scene_name] * n_frames,
-                        [rung_fields] * n_frames,
-                        [height] * n_frames,
-                        [width] * n_frames,
-                        [display] * n_frames,
-                        range(n_frames),
-                    )
+                results = pool_map(
+                    pool,
+                    _encode_frame_by_name,
+                    [scene_name] * n_frames,
+                    [rung_fields] * n_frames,
+                    [height] * n_frames,
+                    [width] * n_frames,
+                    [display] * n_frames,
+                    range(n_frames),
                 )
         return cls(
             ladder=ladder,

@@ -42,6 +42,7 @@ from ..streaming.engine import AdaptationState, FrameTiming
 from ..streaming.server import ClientReport
 from ..streaming.traces import BandwidthTrace
 from ..streaming.validation import validate_stream_timing
+from .chaos import ChaosConfig, ChaosInjector
 from .frames import FrameBank
 from .protocol import (
     PROTOCOL_VERSION,
@@ -103,6 +104,12 @@ class ServeConfig:
         megabytes in user space; ``None`` keeps asyncio's default.
     max_frames:
         Upper clamp on a client's requested stream length.
+    chaos:
+        Optional :class:`~repro.serving.chaos.ChaosConfig` injecting
+        frame drops, delays, and connection resets into every
+        connection's sender — the live counterpart of a lossy
+        :class:`~repro.streaming.link.WirelessLink`.  ``None``
+        (default) serves faithfully.
     """
 
     bank: FrameBank
@@ -117,6 +124,7 @@ class ServeConfig:
     send_stall_timeout_s: float | None = 10.0
     write_buffer_bytes: int | None = 65536
     max_frames: int = 100_000
+    chaos: ChaosConfig | None = None
 
     def __post_init__(self):
         if self.nominal_bandwidth_mbps <= 0:
@@ -162,17 +170,24 @@ class ServedClientReport(ClientReport):
         Wire-protocol violations observed on this connection.
     bytes_sent:
         Total bytes written to the socket (payloads and framing).
+    chaos_drops, chaos_delays, chaos_resets:
+        Faults injected into this connection by the server's
+        :class:`~repro.serving.chaos.ChaosConfig` (all zero when chaos
+        is off).  A reset also drops the frame it interrupted.
     """
 
     deadline_drops: int = 0
     queue_drops: int = 0
     protocol_errors: int = 0
     bytes_sent: int = 0
+    chaos_drops: int = 0
+    chaos_delays: int = 0
+    chaos_resets: int = 0
 
     @property
     def dropped_frames(self) -> int:
         """Frames dropped for any reason."""
-        return self.deadline_drops + self.queue_drops
+        return self.deadline_drops + self.queue_drops + self.chaos_drops + self.chaos_resets
 
 
 @dataclass(frozen=True)
@@ -190,6 +205,8 @@ class ServerReport:
     ladder: tuple[str, ...]
     duration_s: float = 0.0
     scene: str = ""
+    handshake_errors: int = 0
+    unclean_closes: int = 0
 
     @property
     def n_clients(self) -> int:
@@ -214,12 +231,38 @@ class ServerReport:
     @property
     def dropped_frames(self) -> int:
         """Frames dropped for any reason, across clients."""
-        return self.deadline_drops + self.queue_drops
+        return self.deadline_drops + self.queue_drops + self.chaos_drops
 
     @property
     def protocol_errors(self) -> int:
         """Summed wire-protocol violations across clients."""
         return sum(r.protocol_errors for r in self.clients)
+
+    @property
+    def chaos_drops(self) -> int:
+        """Frames the chaos injector dropped or reset away, fleet-wide."""
+        return sum(r.chaos_drops + r.chaos_resets for r in self.clients)
+
+    @property
+    def chaos_resets(self) -> int:
+        """Connections the chaos injector reset mid-stream."""
+        return sum(r.chaos_resets for r in self.clients)
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run finished without faults *we* did not inject.
+
+        Protocol violations, handshake failures, and connections that
+        had to be cancelled at shutdown all count against cleanliness;
+        injected chaos (drops, delays, resets) does not — degrading
+        gracefully under chaos is the expected behavior, not an error.
+        ``repro serve`` exits nonzero when this is false.
+        """
+        return (
+            self.protocol_errors == 0
+            and self.handshake_errors == 0
+            and self.unclean_closes == 0
+        )
 
     @property
     def total_stall_time_s(self) -> float:
@@ -256,7 +299,7 @@ class ServerReport:
         occupancy = ", ".join(
             f"{name}:{share:.2f}" for name, share in self.rung_occupancy.items()
         )
-        return (
+        text = (
             f"{self.n_clients} clients | {self.frames_sent} frames | "
             f"{self.dropped_frames} dropped "
             f"({self.deadline_drops} deadline, {self.queue_drops} queue) | "
@@ -265,6 +308,17 @@ class ServerReport:
             f"stall {self.total_stall_time_s * 1e3:.1f} ms | "
             f"rungs [{occupancy}]"
         )
+        if self.chaos_drops or self.chaos_resets:
+            text += (
+                f" | chaos {self.chaos_drops} dropped, "
+                f"{self.chaos_resets} resets"
+            )
+        if self.handshake_errors or self.unclean_closes:
+            text += (
+                f" | UNCLEAN ({self.handshake_errors} handshake, "
+                f"{self.unclean_closes} cancelled)"
+            )
+        return text
 
     def to_json(self, indent: int | None = 2) -> str:
         """Serialize through :mod:`repro.streaming.reports`."""
@@ -283,6 +337,10 @@ class ServerReport:
                 f"payload decodes to {type(report).__name__}, not {cls.__name__}"
             )
         return report
+
+
+class _EmptyConnection(Exception):
+    """A peer connected and closed without ever sending a byte."""
 
 
 class _QueuedFrame:
@@ -323,6 +381,7 @@ class _Connection:
         session: str,
         hello: Hello,
         writer: asyncio.StreamWriter,
+        session_index: int = 0,
     ):
         config = server.config
         bank = config.bank
@@ -356,6 +415,14 @@ class _Connection:
         self.queue_drops = 0
         self.protocol_errors = 0
         self.bytes_sent = 0
+        # Fault injection: one deterministic chaos stream per
+        # connection index, None when the server runs faithfully.
+        self.chaos: ChaosInjector | None = (
+            config.chaos.injector(session_index)
+            if config.chaos is not None and config.chaos.is_active
+            else None
+        )
+        self.chaos_dropped_frames = 0  # frames lost to chaos drop or reset
         self.client_gone = asyncio.Event()
         self.acked = 0  # frames whose ACK has arrived
         self.sent = 0  # frames actually written
@@ -402,6 +469,16 @@ class _Connection:
             self.deadline_drops += 1
         else:
             self.queue_drops += 1
+        self._push_record(frame.frame_index, 0, 0.0, None)
+
+    def _chaos_drop(self, frame: _QueuedFrame) -> None:
+        """Account a frame the chaos injector kept off the wire.
+
+        Same record-replay bookkeeping as a real drop, so the
+        adaptation state and the stream-drain accounting never stall
+        on an injected fault.
+        """
+        self.chaos_dropped_frames += 1
         self._push_record(frame.frame_index, 0, 0.0, None)
 
     # -- coroutines -----------------------------------------------------
@@ -477,6 +554,28 @@ class _Connection:
                 payload=frame.payload,
             )
             wire = encode_message(message)
+            if self.chaos is not None:
+                action = self.chaos.frame_action()
+                if action == "drop":
+                    # Never written: the client sees a frame-index gap,
+                    # exactly like an erased packet in the simulator.
+                    self._chaos_drop(frame)
+                    continue
+                if action == "reset":
+                    # Kill the connection the way real networks do:
+                    # optionally mid-message (the peer reads a
+                    # truncated frame then EOF), then a hard abort.
+                    self.client_gone.set()
+                    try:
+                        if self.chaos.config.truncate_on_reset and len(wire) > 8:
+                            self.writer.write(wire[: len(wire) // 2])
+                        self.writer.transport.abort()
+                    except (ConnectionError, OSError):
+                        pass
+                    self._chaos_drop(frame)
+                    continue
+                if action == "delay":
+                    await asyncio.sleep(self.chaos.delay_s)
             self.send_time_s[frame.frame_index] = self.now_s()
             try:
                 self.writer.write(wire)
@@ -564,6 +663,9 @@ class _Connection:
             queue_drops=self.queue_drops,
             protocol_errors=self.protocol_errors,
             bytes_sent=self.bytes_sent,
+            chaos_drops=self.chaos.drops if self.chaos is not None else 0,
+            chaos_delays=self.chaos.delays if self.chaos is not None else 0,
+            chaos_resets=self.chaos.resets if self.chaos is not None else 0,
         )
 
 
@@ -593,6 +695,7 @@ class StreamServer:
         self._active: set[asyncio.Task] = set()
         self._finished: list[ServedClientReport] = []
         self._handshake_errors = 0
+        self._unclean_closes = 0
         self._started_at: float = 0.0
         self._stopping = False
 
@@ -636,6 +739,10 @@ class StreamServer:
             for task in pending:
                 task.cancel()
             if pending:
+                # Connections that outlived the drain grace had to be
+                # killed — that is an unclean shutdown, and the exit
+                # code should say so.
+                self._unclean_closes += len(pending)
                 await asyncio.gather(*pending, return_exceptions=True)
         return self.report()
 
@@ -652,6 +759,8 @@ class StreamServer:
             ladder=self.config.bank.ladder.names,
             duration_s=duration,
             scene=self.config.bank.scene_name,
+            handshake_errors=self._handshake_errors,
+            unclean_closes=self._unclean_closes,
         )
 
     # -- connection handling --------------------------------------------
@@ -688,10 +797,14 @@ class StreamServer:
         decoder = MessageDecoder()
 
         async def read_hello() -> Hello:
+            received = False
             while True:
                 data = await reader.read(4096)
                 if not data:
+                    if not received:
+                        raise _EmptyConnection
                     raise ProtocolError("connection closed before HELLO")
+                received = True
                 for message in decoder.iter_feed(data):
                     if isinstance(message, Hello):
                         return message
@@ -711,9 +824,15 @@ class StreamServer:
         config = self.config
         if config.write_buffer_bytes is not None:
             writer.transport.set_write_buffer_limits(high=config.write_buffer_bytes)
-        session = f"session-{next(self._sessions)}"
+        session_index = next(self._sessions)
+        session = f"session-{session_index}"
         try:
             hello, decoder = await self._read_hello(reader)
+        except _EmptyConnection:
+            # A peer that connected and closed without sending a byte
+            # is a port probe (health checks, the CI poll loop), not a
+            # protocol violation — don't let it poison the exit code.
+            return
         except (ProtocolError, asyncio.TimeoutError):
             self._handshake_errors += 1
             return
@@ -734,7 +853,7 @@ class StreamServer:
             )
             return
         try:
-            connection = _Connection(self, session, hello, writer)
+            connection = _Connection(self, session, hello, writer, session_index)
         except (ValueError, KeyError) as exc:
             self._handshake_errors += 1
             reject(f"bad stream setup: {exc}")
@@ -762,6 +881,7 @@ class StreamServer:
             deadline = asyncio.get_running_loop().time() + config.drain_grace_s
             while (
                 connection.acked + connection.deadline_drops + connection.queue_drops
+                + connection.chaos_dropped_frames
                 < connection.n_frames
                 and not connection.client_gone.is_set()
                 and asyncio.get_running_loop().time() < deadline
@@ -783,13 +903,20 @@ class StreamServer:
 def _served_client_to_dict(report: ServedClientReport) -> dict[str, Any]:
     from ..streaming.reports import _client_to_dict
 
-    return {
+    body = {
         **_client_to_dict(report),
         "deadline_drops": report.deadline_drops,
         "queue_drops": report.queue_drops,
         "protocol_errors": report.protocol_errors,
         "bytes_sent": report.bytes_sent,
     }
+    # Chaos counters only exist on the wire when chaos ran, so
+    # faithful-serving payloads stay byte-identical to before.
+    if report.chaos_drops or report.chaos_delays or report.chaos_resets:
+        body["chaos_drops"] = report.chaos_drops
+        body["chaos_delays"] = report.chaos_delays
+        body["chaos_resets"] = report.chaos_resets
+    return body
 
 
 def _served_client_from_dict(data: dict[str, Any]) -> ServedClientReport:
@@ -807,16 +934,24 @@ def _served_client_from_dict(data: dict[str, Any]) -> ServedClientReport:
         queue_drops=int(data.get("queue_drops", 0)),
         protocol_errors=int(data.get("protocol_errors", 0)),
         bytes_sent=int(data.get("bytes_sent", 0)),
+        chaos_drops=int(data.get("chaos_drops", 0)),
+        chaos_delays=int(data.get("chaos_delays", 0)),
+        chaos_resets=int(data.get("chaos_resets", 0)),
     )
 
 
 def _server_report_to_dict(report: ServerReport) -> dict[str, Any]:
-    return {
+    body = {
         "clients": [_served_client_to_dict(c) for c in report.clients],
         "ladder": list(report.ladder),
         "duration_s": report.duration_s,
         "scene": report.scene,
     }
+    if report.handshake_errors:
+        body["handshake_errors"] = report.handshake_errors
+    if report.unclean_closes:
+        body["unclean_closes"] = report.unclean_closes
+    return body
 
 
 def _server_report_from_dict(data: dict[str, Any]) -> ServerReport:
@@ -825,6 +960,8 @@ def _server_report_from_dict(data: dict[str, Any]) -> ServerReport:
         ladder=tuple(str(name) for name in data["ladder"]),
         duration_s=float(data.get("duration_s", 0.0)),
         scene=str(data.get("scene", "")),
+        handshake_errors=int(data.get("handshake_errors", 0)),
+        unclean_closes=int(data.get("unclean_closes", 0)),
     )
 
 

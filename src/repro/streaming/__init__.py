@@ -53,6 +53,19 @@ from .cohort import (
     tracer_seed,
 )
 from .link import WIFI6_LINK, WIGIG_LINK, WirelessLink
+from .loss import (
+    LOSS_SPEC_KINDS,
+    RECOVERY_CHOICES,
+    ArqPolicy,
+    Backoff,
+    DropSkipPolicy,
+    FecPolicy,
+    LossStats,
+    LossTrace,
+    RecoveryPolicy,
+    get_recovery_policy,
+    parse_loss_spec,
+)
 from .reports import (
     REPORT_FORMAT_VERSION,
     register_report_type,
@@ -99,6 +112,17 @@ __all__ = [
     "BandwidthTrace",
     "parse_trace_spec",
     "TRACE_SPEC_KINDS",
+    "LossTrace",
+    "parse_loss_spec",
+    "LOSS_SPEC_KINDS",
+    "RECOVERY_CHOICES",
+    "Backoff",
+    "RecoveryPolicy",
+    "ArqPolicy",
+    "FecPolicy",
+    "DropSkipPolicy",
+    "LossStats",
+    "get_recovery_policy",
     "ENCODER_CHOICES",
     "FrameTiming",
     "SessionReport",

@@ -287,6 +287,7 @@ def simulate_adaptive_session(
     loop_frames: int | None = None,
     rung_streams: Sequence[tuple[int, ...]] | None = None,
     encode_cache: LadderEncodeCache | None = None,
+    recovery=None,
 ) -> AdaptiveSessionReport:
     """Stream one client with per-frame rate control over a link.
 
@@ -344,6 +345,11 @@ def simulate_adaptive_session(
         and scheduler sweep sharing it).  Mutually exclusive with
         ``rung_streams``; ``ladder`` defaults to the cache's ladder and
         must match it when given.
+    recovery:
+        Loss recovery policy (name from
+        :data:`~repro.streaming.loss.RECOVERY_CHOICES` or a
+        :class:`~repro.streaming.loss.RecoveryPolicy`); only valid
+        when ``link`` carries a loss trace.
 
     Returns
     -------
@@ -428,11 +434,14 @@ def simulate_adaptive_session(
         encode_time_s=2 * height * width / (encode_throughput_mpixels_s * 1e6),
         adaptation=state,
     )
-    outcome = StreamingEngine(link, pricing="backlog").run([spec], seed=seed)[0]
+    outcome = StreamingEngine(link, pricing="backlog", recovery=recovery).run(
+        [spec], seed=seed
+    )[0]
     return AdaptiveSessionReport(
         encoder=f"adaptive:{policy.name}",
         frames=outcome.frames,
         target_fps=target_fps,
+        loss=outcome.loss,
         adaptive=outcome.adaptive,
         ladder=ladder.names,
     )

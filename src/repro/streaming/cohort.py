@@ -54,7 +54,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from ..parallel import worker_pool
+from ..parallel import gather, worker_pool
 from .adaptive import RateController, get_controller
 from .engine import (
     AdaptationState,
@@ -64,6 +64,7 @@ from .engine import (
     get_scheduler,
 )
 from .link import WIFI6_LINK, WirelessLink
+from .loss import LossRuntime, RecoveryPolicy, get_recovery_policy
 from .server import ClientReport
 from .sketch import QuantileSketch
 from .traces import BandwidthTrace
@@ -425,12 +426,17 @@ def plan_member_links(
             rates_mbps[:first] = rates_mbps[first]
             rates_mbps[last + 1:] = rates_mbps[last]
         rates_mbps = np.maximum(rates_mbps, _MIN_MEMBER_RATE_MBPS)
+        # Packet loss is per-member, not a contended resource: every
+        # effective member link inherits the shared link's loss trace
+        # unchanged, so tracers see the same erasure process the exact
+        # engine would on that link.
         if np.all(rates_mbps == rates_mbps[0]):
             links.append(
                 WirelessLink(
                     bandwidth_mbps=float(rates_mbps[0]),
                     propagation_ms=link.propagation_ms,
                     jitter_ms=link.jitter_ms,
+                    loss=link.loss,
                 )
             )
             continue
@@ -445,6 +451,7 @@ def plan_member_links(
                 BandwidthTrace(trace_times_s, trace_rates),
                 propagation_ms=link.propagation_ms,
                 jitter_ms=link.jitter_ms,
+                loss=link.loss,
             )
         )
     return links
@@ -540,6 +547,7 @@ def _simulate_cohort(
     ladder: "QualityLadder | None",
     seed: int,
     n_cohorts: int,
+    recovery: RecoveryPolicy | None = None,
 ) -> _CohortOutcome:
     """Advance one cohort through the solo recurrence on its member link.
 
@@ -550,6 +558,16 @@ def _simulate_cohort(
     reproducible there.  Jitter never feeds back into backlog or the
     controller (it is post-transmission overhead), so the trajectory is
     shared by every member and computed once.
+
+    On a lossy member link the trajectory serializes **wire** bits
+    (FEC inflation is deterministic, so it stays member-shared), while
+    the stochastic recovery delay — erasure draws, ARQ rounds,
+    reordering — lands only on tracers, whose per-frame draw order
+    (loss before jitter) replicates the engine's exactly.  Bulk
+    members keep the deterministic trajectory: the mean-field
+    approximation prices their airtime and backlog truthfully but
+    folds no recovery delay into the latency sketch; tracers carry the
+    loss telemetry the fleet reports on.
     """
     interval_s = spec.interval_s
     state: AdaptationState | None = None
@@ -557,6 +575,7 @@ def _simulate_cohort(
         if ladder is None:  # pragma: no cover - caller always pairs them
             raise ValueError("a controller requires a ladder")
         state = AdaptationState(policy, ladder, spec.start_rung, interval_s)
+    loss_trace = member_link.loss
     width = len(spec.payloads[0])
     rung_map = spec.rung_map if spec.rung_map is not None else tuple(range(width))
     backlog_s = 0.0
@@ -572,8 +591,13 @@ def _simulate_cohort(
             payload, rung_name = bits[local], state.ladder[rung_map[local]].name
         queue_wait_s = state.backlog_s if state is not None else backlog_s
         send_start_s = time_s + queue_wait_s
+        wire_bits = (
+            recovery.wire_bits(payload, loss_trace.packet_bits)
+            if loss_trace is not None and recovery is not None
+            else payload
+        )
         serialization_s = member_link.serialization_time_s(
-            payload, start_s=send_start_s
+            wire_bits, start_s=send_start_s
         )
         if state is not None:
             state.record(payload, serialization_s)
@@ -586,14 +610,32 @@ def _simulate_cohort(
     # Tracer members: replicate the engine's per-stream RNG spawn
     # (SeedSequence(seed).spawn(1)[0] for a one-stream run) so jitter
     # draws — one half-normal per frame, in frame order — match bit
-    # for bit.
+    # for bit.  On a lossy link the loss draws precede the jitter draw
+    # within each frame, again matching the engine.
     tracers: list[ClientReport] = []
     for ti in range(spec.n_tracers):
         rng = np.random.default_rng(
             np.random.SeedSequence(tracer_seed(seed, index, ti)).spawn(1)[0]
         )
+        loss_runtime = (
+            LossRuntime(
+                loss_trace,
+                recovery,
+                interval_s=interval_s,
+                rtt_s=member_link.rtt_s,
+            )
+            if loss_trace is not None and recovery is not None
+            else None
+        )
         timings = []
         for k, payload, rung_name, queue_wait_s, serialization_s in frame_rows:
+            recovery_s = (
+                loss_runtime.on_frame(
+                    rng, payload, serialization_s, spec.start_s + k * interval_s
+                )
+                if loss_runtime is not None
+                else 0.0
+            )
             overhead_s = member_link.overhead_time_s(rng)
             timings.append(
                 FrameTiming(
@@ -601,7 +643,8 @@ def _simulate_cohort(
                     payload_bits=payload,
                     encode_time_s=spec.encode_time_s,
                     serialization_time_s=serialization_s,
-                    transmit_time_s=queue_wait_s + serialization_s + overhead_s,
+                    transmit_time_s=queue_wait_s + serialization_s + overhead_s
+                    + recovery_s,
                     rung=rung_name,
                 )
             )
@@ -616,11 +659,12 @@ def _simulate_cohort(
                 adaptive=stats,
                 start_s=spec.start_s,
                 stop_s=spec.stop_s,
+                loss=loss_runtime.stats() if loss_runtime is not None else None,
             )
         )
 
     sketch = QuantileSketch()
-    if member_link.jitter_ms == 0.0:
+    if member_link.jitter_ms == 0.0 and loss_trace is None:
         # Every member is bit-identical: one weighted add per frame.
         overhead_s = member_link.overhead_time_s(None)
         latencies_s = np.asarray(
@@ -699,10 +743,13 @@ def _simulate_shard(
     ladder: "QualityLadder | None",
     seed: int,
     n_cohorts: int,
+    recovery: RecoveryPolicy | None = None,
 ) -> list[_CohortOutcome]:
     """Run one shard's cohorts (a picklable process-pool task)."""
     return [
-        _simulate_cohort(index, spec, member_link, policy, ladder, seed, n_cohorts)
+        _simulate_cohort(
+            index, spec, member_link, policy, ladder, seed, n_cohorts, recovery
+        )
         for index, spec, member_link in tasks
     ]
 
@@ -745,6 +792,38 @@ class CohortFleetReport:
     def is_adaptive(self) -> bool:
         """Whether the fleet ran under a rate controller."""
         return self.controller is not None
+
+    @property
+    def is_lossy(self) -> bool:
+        """Whether the fleet ran on a lossy link (tracers carry stats)."""
+        return any(report.loss is not None for report in self.tracers)
+
+    @property
+    def tracer_resyncs(self) -> int:
+        """Total decoder resyncs across the fleet's tracer clients.
+
+        Tracers are the fully simulated members, so this is a sampled
+        view of the fleet's resync pressure, not a member-weighted
+        total — bulk members advance through the deterministic
+        mean-field trajectory and make no loss draws.
+        """
+        return sum(
+            report.loss.resyncs
+            for report in self.tracers
+            if report.loss is not None
+        )
+
+    @property
+    def tracer_delivered_quality(self) -> float | None:
+        """Mean delivered-frame fraction across tracers (lossy only)."""
+        values = [
+            report.loss.delivered_quality
+            for report in self.tracers
+            if report.loss is not None
+        ]
+        if not values:
+            return None
+        return float(np.mean(values))
 
     def cohort(self, name: str) -> CohortSummary:
         """Look up one cohort's summary by name.
@@ -861,6 +940,11 @@ class CohortFleetReport:
             quality = self.mean_quality
             if quality is not None:
                 text += f" | quality {quality:.3f}"
+        if self.is_lossy:
+            text += f" | tracer resyncs {self.tracer_resyncs}"
+            delivered = self.tracer_delivered_quality
+            if delivered is not None:
+                text += f" | delivered {delivered:.3f}"
         return text
 
 
@@ -875,6 +959,7 @@ def simulate_cohort_fleet(
     seed: int = 0,
     controller: str | RateController | None = None,
     ladder: "QualityLadder | None" = None,
+    recovery: "str | RecoveryPolicy | None" = None,
     n_shards: int = 1,
     n_jobs: int = 1,
 ) -> CohortFleetReport:
@@ -907,6 +992,14 @@ def simulate_cohort_fleet(
         Quality ladder for adaptive runs; defaults to
         :meth:`~repro.codecs.ladder.QualityLadder.default`.  Only
         valid with a controller.
+    recovery:
+        Loss recovery policy (name from
+        :data:`~repro.streaming.loss.RECOVERY_CHOICES` or a
+        :class:`~repro.streaming.loss.RecoveryPolicy`); only valid
+        when ``link`` carries a loss trace.  Tracer clients then draw
+        the same loss process the exact engine would on their member
+        link and carry :class:`~repro.streaming.loss.LossStats` in
+        their reports; bulk members price wire bits deterministically.
     n_shards:
         Shards cohorts are hashed into (per-AP/cell granularity).
     n_jobs:
@@ -932,6 +1025,15 @@ def simulate_cohort_fleet(
         raise ValueError(f"n_jobs must be a positive integer, got {n_jobs!r}")
     if controller is None and ladder is not None:
         raise ValueError("ladder only applies when a controller is given")
+
+    recovery_policy: RecoveryPolicy | None = None
+    if link.loss is not None:
+        recovery_policy = get_recovery_policy(recovery)
+    elif recovery is not None:
+        raise ValueError(
+            "a recovery policy needs a lossy link; set WirelessLink.loss "
+            "(e.g. LossTrace.bernoulli(0.01)) or drop the recovery argument"
+        )
 
     policy: RateController | None = None
     if controller is not None:
@@ -960,16 +1062,24 @@ def simulate_cohort_fleet(
     n_cohorts = len(cohorts)
     if n_jobs == 1 or len(shards) == 1:
         shard_results = [
-            _simulate_shard(tasks, policy, ladder, seed, n_cohorts)
+            _simulate_shard(tasks, policy, ladder, seed, n_cohorts, recovery_policy)
             for tasks in shards
         ]
     else:
         with worker_pool(min(n_jobs, len(shards))) as pool:
             futures = [
-                pool.submit(_simulate_shard, tasks, policy, ladder, seed, n_cohorts)
+                pool.submit(
+                    _simulate_shard,
+                    tasks,
+                    policy,
+                    ladder,
+                    seed,
+                    n_cohorts,
+                    recovery_policy,
+                )
                 for tasks in shards
             ]
-            shard_results = [future.result() for future in futures]
+            shard_results = gather(futures)
 
     by_index = {
         outcome.index: outcome

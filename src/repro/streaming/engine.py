@@ -47,6 +47,7 @@ import numpy as np
 
 from ..codecs.ladder import encode_frame_rungs
 from .link import WirelessLink
+from .loss import LossRuntime, LossStats, get_recovery_policy
 from .validation import (
     PRICING_MODES,
     validate_pricing,
@@ -794,11 +795,14 @@ class StreamOutcome:
         One :class:`FrameTiming` per streamed frame, in display order.
     adaptive:
         Frozen adaptation telemetry, or ``None`` for pinned streams.
+    loss:
+        Frozen loss/recovery telemetry, or ``None`` on lossless links.
     """
 
     name: str
     frames: list[FrameTiming]
     adaptive: AdaptiveStats | None = None
+    loss: LossStats | None = None
 
 
 # -- kernel runtime state -----------------------------------------------
@@ -810,6 +814,7 @@ class _Flow:
     __slots__ = (
         "frame_index",
         "payload_bits",
+        "wire_bits",
         "rung_name",
         "nominal_s",
         "send_start_s",
@@ -818,13 +823,16 @@ class _Flow:
         "version",
     )
 
-    def __init__(self, frame_index, payload_bits, rung_name, nominal_s, send_start_s):
+    def __init__(
+        self, frame_index, payload_bits, wire_bits, rung_name, nominal_s, send_start_s
+    ):
         self.frame_index = frame_index
         self.payload_bits = payload_bits
+        self.wire_bits = wire_bits
         self.rung_name = rung_name
         self.nominal_s = nominal_s
         self.send_start_s = send_start_s
-        self.remaining_bits = float(payload_bits)
+        self.remaining_bits = float(wire_bits)
         self.share = 0.0
         self.version = 0
 
@@ -832,7 +840,9 @@ class _Flow:
 class _StreamRuntime:
     """Mutable per-stream bookkeeping for one engine run."""
 
-    __slots__ = ("spec", "rng", "queue", "flow", "pending_start", "timings", "backlog_s")
+    __slots__ = (
+        "spec", "rng", "queue", "flow", "pending_start", "timings", "backlog_s", "loss"
+    )
 
     def __init__(self, spec: StreamSpec, rng: np.random.Generator):
         self.spec = spec
@@ -842,6 +852,7 @@ class _StreamRuntime:
         self.pending_start = False
         self.timings: list[FrameTiming] = []
         self.backlog_s = 0.0  # non-adaptive solo streams track their own
+        self.loss: LossRuntime | None = None  # set by run() on lossy links
 
 
 # -- the engine ---------------------------------------------------------
@@ -878,6 +889,13 @@ class StreamingEngine:
             links with ``jitter_ms > 0`` transmit times differ from
             the pre-engine shared-RNG draws (a one-time, documented
             change).
+    recovery:
+        Loss recovery policy — a name from
+        :data:`~repro.streaming.loss.RECOVERY_CHOICES`, a
+        :class:`~repro.streaming.loss.RecoveryPolicy` instance, or
+        ``None`` for the default (ARQ) when the link carries a
+        :class:`~repro.streaming.loss.LossTrace`.  Naming a policy on
+        a lossless link is an error: there is nothing to recover from.
 
     Notes
     -----
@@ -895,10 +913,21 @@ class StreamingEngine:
         link: WirelessLink,
         scheduler: str | LinkScheduler = "fair",
         pricing: str = "backlog",
+        recovery=None,
     ):
         self.link = link
         self.scheduler = get_scheduler(scheduler)
         self.pricing = validate_pricing(pricing)
+        if link.loss is not None:
+            self.recovery = get_recovery_policy(recovery)
+        elif recovery is not None:
+            raise ValueError(
+                "a recovery policy needs a lossy link; "
+                "set WirelessLink.loss (e.g. LossTrace.bernoulli(0.01)) "
+                "or drop the recovery argument"
+            )
+        else:
+            self.recovery = None
         self.last_events: tuple[Event, ...] = ()
 
     # -- public entry ---------------------------------------------------
@@ -935,6 +964,14 @@ class StreamingEngine:
             for child in np.random.SeedSequence(seed).spawn(len(streams))
         ]
         runtimes = [_StreamRuntime(spec, rng) for spec, rng in zip(streams, rngs)]
+        if self.link.loss is not None:
+            for rt in runtimes:
+                rt.loss = LossRuntime(
+                    self.link.loss,
+                    self.recovery,
+                    interval_s=rt.spec.interval_s,
+                    rtt_s=self.link.rtt_s,
+                )
         self._events: list[Event] = []
         if self.pricing == "round":
             self._run_round_priced(runtimes)
@@ -952,6 +989,7 @@ class StreamingEngine:
                     if rt.spec.adaptation is not None
                     else None
                 ),
+                loss=rt.loss.stats() if rt.loss is not None else None,
             )
             for rt in runtimes
         ]
@@ -1020,12 +1058,26 @@ class StreamingEngine:
                 if len(active) == len(runtimes)
                 else [rt.spec.weight for rt in active]
             )
+            # FEC parity inflates what the link must carry, so drain
+            # pricing sees wire bits; payload bits stay the reported
+            # (and controller-visible) frame size.  Lossless links take
+            # the unmodified historical path.
+            wire_payloads = (
+                [rt.loss.wire_bits(p) for rt, p in zip(active, payloads)]
+                if self.link.loss is not None
+                else payloads
+            )
             drains = self.scheduler.drain_times_s(
-                payloads, weights, self.link, start_s=round_start_s
+                wire_payloads, weights, self.link, start_s=round_start_s
             )
             for rt, payload, rung_name, drain in zip(
                 active, payloads, rung_names, drains
             ):
+                recovery_s = (
+                    rt.loss.on_frame(rt.rng, payload, drain, round_start_s)
+                    if rt.loss is not None
+                    else 0.0
+                )
                 overhead = self.link.overhead_time_s(rt.rng)
                 if rt.spec.adaptation is not None:
                     rt.spec.adaptation.record(payload, drain)
@@ -1035,7 +1087,7 @@ class StreamingEngine:
                         payload_bits=payload,
                         encode_time_s=rt.spec.encode_time_s,
                         serialization_time_s=drain,
-                        transmit_time_s=drain + overhead,
+                        transmit_time_s=drain + overhead + recovery_s,
                         rung=rung_name,
                     )
                 )
@@ -1069,9 +1121,19 @@ class StreamingEngine:
             # (serialization).
             queue_wait_s = state.backlog_s if state is not None else rt.backlog_s
             send_start_s = time_s + queue_wait_s
-            serialization = self.link.serialization_time_s(
-                payload, start_s=send_start_s
-            )
+            # Loss draws land before the jitter draw — the fixed
+            # per-frame draw order the cohort tracers replicate.  On a
+            # lossless link neither branch draws nor changes a bit.
+            if rt.loss is not None:
+                serialization = self.link.serialization_time_s(
+                    rt.loss.wire_bits(payload), start_s=send_start_s
+                )
+                recovery_s = rt.loss.on_frame(rt.rng, payload, serialization, time_s)
+            else:
+                serialization = self.link.serialization_time_s(
+                    payload, start_s=send_start_s
+                )
+                recovery_s = 0.0
             overhead = self.link.overhead_time_s(rt.rng)
             rt.timings.append(
                 FrameTiming(
@@ -1079,7 +1141,8 @@ class StreamingEngine:
                     payload_bits=payload,
                     encode_time_s=spec.encode_time_s,
                     serialization_time_s=serialization,
-                    transmit_time_s=queue_wait_s + serialization + overhead,
+                    transmit_time_s=queue_wait_s + serialization + overhead
+                    + recovery_s,
                     rung=rung_name,
                 )
             )
@@ -1165,16 +1228,17 @@ class StreamingEngine:
             if kind == FRAME_READY:
                 self._log(time_s, FRAME_READY, spec.name, frame_index)
                 payload, rung_name = self._choose_payload(rt, frame_index, time_s)
-                rt.queue.append((frame_index, payload, rung_name, time_s))
+                wire = rt.loss.wire_bits(payload) if rt.loss is not None else payload
+                rt.queue.append((frame_index, payload, wire, rung_name, time_s))
                 if rt.flow is None and not rt.pending_start:
                     rt.pending_start = True
                     push(time_s, TRANSMIT_START, index)
             elif kind == TRANSMIT_START:
                 rt.pending_start = False
-                frame_index, payload, rung_name, nominal_s = rt.queue.popleft()
+                frame_index, payload, wire, rung_name, nominal_s = rt.queue.popleft()
                 self._log(time_s, TRANSMIT_START, spec.name, frame_index)
                 advance(time_s)
-                rt.flow = _Flow(frame_index, payload, rung_name, nominal_s, time_s)
+                rt.flow = _Flow(frame_index, payload, wire, rung_name, nominal_s, time_s)
                 reschedule(time_s)
             else:  # TRANSMIT_DONE
                 flow = rt.flow
@@ -1184,6 +1248,13 @@ class StreamingEngine:
                 advance(time_s)
                 serialization = time_s - flow.send_start_s
                 queue_wait_s = flow.send_start_s - flow.nominal_s
+                recovery_s = (
+                    rt.loss.on_frame(
+                        rt.rng, flow.payload_bits, serialization, flow.nominal_s
+                    )
+                    if rt.loss is not None
+                    else 0.0
+                )
                 overhead = self.link.overhead_time_s(rt.rng)
                 if spec.adaptation is not None:
                     spec.adaptation.record(flow.payload_bits, serialization)
@@ -1193,7 +1264,8 @@ class StreamingEngine:
                         payload_bits=flow.payload_bits,
                         encode_time_s=spec.encode_time_s,
                         serialization_time_s=serialization,
-                        transmit_time_s=queue_wait_s + serialization + overhead,
+                        transmit_time_s=queue_wait_s + serialization + overhead
+                        + recovery_s,
                         rung=flow.rung_name,
                     )
                 )

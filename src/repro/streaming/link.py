@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .loss import LossTrace
 from .traces import BandwidthTrace
 
 __all__ = ["WirelessLink", "WIFI6_LINK", "WIGIG_LINK", "HALF_NORMAL_MEAN_FACTOR"]
@@ -58,12 +59,18 @@ class WirelessLink:
         Optional :class:`~repro.streaming.traces.BandwidthTrace`
         making the link's rate time-varying.  ``None`` (default) keeps
         the constant-rate behavior.
+    loss:
+        Optional :class:`~repro.streaming.loss.LossTrace` making the
+        link erase (and reorder) packets.  ``None`` (default) keeps
+        the lossless behavior — the engine then makes no loss draws at
+        all, so lossless runs stay bit-for-bit identical.
     """
 
     bandwidth_mbps: float
     propagation_ms: float = 2.0
     jitter_ms: float = 0.0
     trace: BandwidthTrace | None = None
+    loss: LossTrace | None = None
 
     def __post_init__(self):
         if self.bandwidth_mbps <= 0:
@@ -80,6 +87,7 @@ class WirelessLink:
         *,
         propagation_ms: float = 2.0,
         jitter_ms: float = 0.0,
+        loss: LossTrace | None = None,
     ) -> "WirelessLink":
         """A time-varying link driven by a bandwidth trace.
 
@@ -89,7 +97,7 @@ class WirelessLink:
             The bandwidth profile; the link's nominal
             ``bandwidth_mbps`` is set to the trace's time-averaged
             rate.
-        propagation_ms, jitter_ms:
+        propagation_ms, jitter_ms, loss:
             As on the constructor.
 
         Returns
@@ -102,7 +110,18 @@ class WirelessLink:
             propagation_ms=propagation_ms,
             jitter_ms=jitter_ms,
             trace=trace,
+            loss=loss,
         )
+
+    @property
+    def rtt_s(self) -> float:
+        """Round-trip propagation in seconds (no airtime, no jitter).
+
+        What an ARQ retransmission round pays to learn which packets
+        are missing — the :mod:`~repro.streaming.loss` policies charge
+        one of these per round.
+        """
+        return 2.0 * self.propagation_ms * 1e-3
 
     def at(self, time_s: float = 0.0) -> float:
         """Instantaneous bandwidth in Mbps at a session time.

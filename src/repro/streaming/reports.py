@@ -25,6 +25,7 @@ from typing import Any, Callable
 
 from .engine import AdaptiveStats, FrameTiming
 from .link import WirelessLink
+from .loss import LossStats, LossTrace
 from .traces import BandwidthTrace
 
 __all__ = [
@@ -33,6 +34,10 @@ __all__ = [
     "frame_timing_from_dict",
     "adaptive_stats_to_dict",
     "adaptive_stats_from_dict",
+    "loss_stats_to_dict",
+    "loss_stats_from_dict",
+    "loss_trace_to_dict",
+    "loss_trace_from_dict",
     "link_to_dict",
     "link_from_dict",
     "register_report_type",
@@ -45,7 +50,11 @@ __all__ = [
 #: Version stamped into every serialized report; bump on breaking
 #: format changes so old payloads fail loudly instead of silently.
 #: Version 2 added the ``cohort-fleet`` report type and its quantile-
-#: sketch latency roll-up (see ``docs/fleet-scale.md``).
+#: sketch latency roll-up (see ``docs/fleet-scale.md``).  The lossy-
+#: link fields (``"loss"`` on session bodies and link mappings) are
+#: *conditional* additions — emitted only when a loss trace was
+#: configured — so lossless version-2 payloads are byte-identical to
+#: pre-loss ones and no version bump is warranted.
 REPORT_FORMAT_VERSION = 2
 
 #: Versions :func:`report_from_dict` accepts.  Version-1 payloads are
@@ -109,20 +118,97 @@ def adaptive_stats_from_dict(data: dict[str, Any] | None) -> AdaptiveStats | Non
     )
 
 
+def loss_stats_to_dict(stats: LossStats | None) -> dict[str, Any] | None:
+    """Loss/recovery telemetry as a mapping (``None`` passes through)."""
+    if stats is None:
+        return None
+    return {
+        "policy": stats.policy,
+        "frames_displayed": stats.frames_displayed,
+        "frames_lost": stats.frames_lost,
+        "frames_poisoned": stats.frames_poisoned,
+        "resyncs": stats.resyncs,
+        "recovery_time_s": stats.recovery_time_s,
+        "packets_sent": stats.packets_sent,
+        "packets_lost": stats.packets_lost,
+        "retransmits": stats.retransmits,
+        "overhead_bits": stats.overhead_bits,
+        "goodput_bits": stats.goodput_bits,
+        "wasted_bits": stats.wasted_bits,
+    }
+
+
+def loss_stats_from_dict(data: dict[str, Any] | None) -> LossStats | None:
+    """Rebuild :class:`LossStats` (``None`` passes through)."""
+    if data is None:
+        return None
+    return LossStats(
+        policy=str(data["policy"]),
+        frames_displayed=int(data["frames_displayed"]),
+        frames_lost=int(data["frames_lost"]),
+        frames_poisoned=int(data["frames_poisoned"]),
+        resyncs=int(data["resyncs"]),
+        recovery_time_s=float(data["recovery_time_s"]),
+        packets_sent=int(data["packets_sent"]),
+        packets_lost=int(data["packets_lost"]),
+        retransmits=int(data["retransmits"]),
+        overhead_bits=float(data["overhead_bits"]),
+        goodput_bits=float(data["goodput_bits"]),
+        wasted_bits=float(data["wasted_bits"]),
+    )
+
+
+def loss_trace_to_dict(trace: LossTrace | None) -> dict[str, Any] | None:
+    """A loss trace as a mapping (``None`` passes through)."""
+    if trace is None:
+        return None
+    return {
+        "p_loss_good": trace.p_loss_good,
+        "p_loss_bad": trace.p_loss_bad,
+        "p_good_to_bad": trace.p_good_to_bad,
+        "p_bad_to_good": trace.p_bad_to_good,
+        "packet_bits": trace.packet_bits,
+        "reorder_prob": trace.reorder_prob,
+        "reorder_depth": trace.reorder_depth,
+    }
+
+
+def loss_trace_from_dict(data: dict[str, Any] | None) -> LossTrace | None:
+    """Rebuild a :class:`LossTrace` (``None`` passes through)."""
+    if data is None:
+        return None
+    return LossTrace(
+        p_loss_good=float(data["p_loss_good"]),
+        p_loss_bad=float(data["p_loss_bad"]),
+        p_good_to_bad=float(data["p_good_to_bad"]),
+        p_bad_to_good=float(data["p_bad_to_good"]),
+        packet_bits=int(data["packet_bits"]),
+        reorder_prob=float(data["reorder_prob"]),
+        reorder_depth=int(data["reorder_depth"]),
+    )
+
+
 def link_to_dict(link: WirelessLink) -> dict[str, Any]:
-    """A link (and any attached trace) as a mapping."""
+    """A link (and any attached traces) as a mapping.
+
+    The ``"loss"`` key appears only for lossy links, keeping lossless
+    payloads byte-identical to pre-loss serializations.
+    """
     trace = None
     if link.trace is not None:
         trace = {
             "times_s": list(link.trace.times_s),
             "rates_mbps": list(link.trace.rates_mbps),
         }
-    return {
+    body = {
         "bandwidth_mbps": link.bandwidth_mbps,
         "propagation_ms": link.propagation_ms,
         "jitter_ms": link.jitter_ms,
         "trace": trace,
     }
+    if link.loss is not None:
+        body["loss"] = loss_trace_to_dict(link.loss)
+    return body
 
 
 def link_from_dict(data: dict[str, Any]) -> WirelessLink:
@@ -135,6 +221,7 @@ def link_from_dict(data: dict[str, Any]) -> WirelessLink:
         propagation_ms=float(data["propagation_ms"]),
         jitter_ms=float(data["jitter_ms"]),
         trace=trace,
+        loss=loss_trace_from_dict(data.get("loss")),
     )
 
 
@@ -211,11 +298,16 @@ def report_from_json(text: str) -> Any:
 
 
 def _session_body(report) -> dict[str, Any]:
-    return {
+    body = {
         "encoder": report.encoder,
         "target_fps": report.target_fps,
         "frames": [frame_timing_to_dict(f) for f in report.frames],
     }
+    # Conditional: lossless reports stay byte-identical to pre-loss
+    # serializations (the bit-for-bit acceptance gate).
+    if getattr(report, "loss", None) is not None:
+        body["loss"] = loss_stats_to_dict(report.loss)
+    return body
 
 
 def _session_to_dict(report) -> dict[str, Any]:
@@ -229,6 +321,7 @@ def _session_from_dict(data: dict[str, Any]):
         encoder=str(data["encoder"]),
         target_fps=float(data["target_fps"]),
         frames=[frame_timing_from_dict(f) for f in data["frames"]],
+        loss=loss_stats_from_dict(data.get("loss")),
     )
 
 
@@ -247,6 +340,7 @@ def _adaptive_session_from_dict(data: dict[str, Any]):
         encoder=str(data["encoder"]),
         target_fps=float(data["target_fps"]),
         frames=[frame_timing_from_dict(f) for f in data["frames"]],
+        loss=loss_stats_from_dict(data.get("loss")),
         adaptive=adaptive_stats_from_dict(data.get("adaptive")),
         ladder=tuple(str(name) for name in data.get("ladder", ())),
     )
@@ -271,6 +365,7 @@ def _client_from_dict(data: dict[str, Any]):
         encoder=str(data["encoder"]),
         target_fps=float(data["target_fps"]),
         frames=[frame_timing_from_dict(f) for f in data["frames"]],
+        loss=loss_stats_from_dict(data.get("loss")),
         name=str(data["name"]),
         scene=str(data["scene"]),
         weight=float(data["weight"]),

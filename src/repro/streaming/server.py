@@ -55,7 +55,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from ..codecs.ladder import QualityLadder, encode_stereo_bits
-from ..parallel import worker_pool
+from ..parallel import gather, worker_pool
 from ..scenes.display import QUEST2_DISPLAY, DisplayGeometry
 from ..scenes.gaze import GazeSample
 from ..scenes.library import get_scene
@@ -404,6 +404,54 @@ class FleetReport:
         return demand / (self.link.bandwidth_mbps * 1e6)
 
     @property
+    def is_lossy(self) -> bool:
+        """Whether the fleet ran over a lossy link."""
+        return any(r.loss is not None for r in self.clients)
+
+    @property
+    def total_resyncs(self) -> int:
+        """Summed forced I-frame resyncs across lossy clients."""
+        return int(sum(r.loss.resyncs for r in self.clients if r.loss is not None))
+
+    @property
+    def total_frames_lost(self) -> int:
+        """Summed undelivered frames across lossy clients."""
+        return int(
+            sum(r.loss.frames_lost for r in self.clients if r.loss is not None)
+        )
+
+    @property
+    def mean_recovery_latency_s(self) -> float:
+        """Mean loss-to-resync latency across the fleet's resyncs."""
+        stats = [r.loss for r in self.clients if r.loss is not None]
+        resyncs = sum(s.resyncs for s in stats)
+        if not resyncs:
+            return 0.0
+        return sum(s.recovery_time_s for s in stats) / resyncs
+
+    @property
+    def mean_delivered_quality(self) -> float | None:
+        """Mean fraction of frames decoded and displayed, or ``None``.
+
+        ``None`` on lossless links (where every frame is displayed by
+        construction and the column would be noise).
+        """
+        values = [
+            r.loss.delivered_quality for r in self.clients if r.loss is not None
+        ]
+        return float(np.mean(values)) if values else None
+
+    @property
+    def goodput_fraction(self) -> float | None:
+        """Displayed payload over all offered bits, or ``None`` lossless."""
+        stats = [r.loss for r in self.clients if r.loss is not None]
+        if not stats:
+            return None
+        goodput = sum(s.goodput_bits for s in stats)
+        total = goodput + sum(s.wasted_bits + s.overhead_bits for s in stats)
+        return goodput / total if total else 1.0
+
+    @property
     def total_stall_time_s(self) -> float:
         """Summed stall time across adaptive clients (0 when pinned)."""
         return float(
@@ -465,6 +513,13 @@ class FleetReport:
             quality = self.mean_quality
             if quality is not None:
                 text += f" | quality {quality:.3f}"
+        if self.is_lossy:
+            delivered = self.mean_delivered_quality
+            text += (
+                f" | resyncs {self.total_resyncs}"
+                f" | delivered {delivered:.3f}"
+                f" | recovery {self.mean_recovery_latency_s * 1e3:.1f} ms"
+            )
         return text
 
 
@@ -558,7 +613,7 @@ def _encode_streams(
             )
             for client, count, indices in zip(clients, frame_counts, per_client)
         ]
-        return [future.result() for future in futures]
+        return gather(futures)
 
 
 def simulate_fleet(
@@ -573,6 +628,7 @@ def simulate_fleet(
     controller: str | RateController | None = None,
     ladder: QualityLadder | None = None,
     pricing: str = "backlog",
+    recovery=None,
 ) -> FleetReport:
     """Stream ``n_frames`` stereo frames per client over one shared link.
 
@@ -629,6 +685,13 @@ def simulate_fleet(
         Drain pricing is bit-for-bit; jitter draws now come from the
         per-client spawned RNGs (see the migration notes), so jittery
         links see a one-time report change versus PR 3.
+    recovery:
+        Loss recovery policy (name from
+        :data:`~repro.streaming.loss.RECOVERY_CHOICES` or a
+        :class:`~repro.streaming.loss.RecoveryPolicy`); only valid
+        when ``link`` carries a loss trace.  Each client then reports
+        its :class:`~repro.streaming.loss.LossStats` and the fleet
+        aggregates resyncs, recovery latency, and delivered quality.
 
     Returns
     -------
@@ -649,7 +712,9 @@ def simulate_fleet(
     if controller is None and ladder is not None:
         raise ValueError("ladder only applies when a controller is given")
     engine_scheduler = get_scheduler(scheduler)
-    engine = StreamingEngine(link, scheduler=engine_scheduler, pricing=pricing)
+    engine = StreamingEngine(
+        link, scheduler=engine_scheduler, pricing=pricing, recovery=recovery
+    )
     if engine.pricing == "round":
         # The legacy round clock ticks at the fastest client's
         # interval, so a departing client consumes rounds — not frames
@@ -718,6 +783,7 @@ def simulate_fleet(
             encoder=client.codec,
             frames=outcome.frames,
             target_fps=client.target_fps,
+            loss=outcome.loss,
             name=client.name,
             scene=client.scene,
             weight=client.weight,

@@ -29,6 +29,7 @@ from ..scenes.display import QUEST2_DISPLAY, DisplayGeometry
 from ..scenes.library import Scene
 from .engine import CodecStreamSource, FrameTiming, StreamingEngine, StreamSpec
 from .link import WirelessLink
+from .loss import LossStats
 from .validation import validate_stream_timing
 
 __all__ = [
@@ -65,11 +66,18 @@ def build_streaming_codec(encoder: str, perceptual_encoder: PerceptualEncoder | 
 
 @dataclass(frozen=True)
 class SessionReport:
-    """Aggregate outcome of a simulated streaming session."""
+    """Aggregate outcome of a simulated streaming session.
+
+    ``loss`` carries the per-stream
+    :class:`~repro.streaming.loss.LossStats` — resync counts, recovery
+    latency, goodput versus delivered quality — and stays ``None`` on
+    lossless links, so lossless reports serialize exactly as before.
+    """
 
     encoder: str
     frames: list[FrameTiming]
     target_fps: float
+    loss: LossStats | None = None
 
     @property
     def mean_payload_bits(self) -> float:
@@ -157,6 +165,7 @@ def simulate_session(
     seed: int = 0,
     controller=None,
     ladder=None,
+    recovery=None,
 ) -> SessionReport:
     """Stream ``n_frames`` stereo frames of a scene over a link.
 
@@ -203,6 +212,11 @@ def simulate_session(
     ladder:
         Optional :class:`~repro.codecs.ladder.QualityLadder` for the
         adaptive path; defaults to the registry-derived ladder.
+    recovery:
+        Loss recovery policy (name from
+        :data:`~repro.streaming.loss.RECOVERY_CHOICES` or a
+        :class:`~repro.streaming.loss.RecoveryPolicy`); only valid
+        when ``link`` carries a loss trace.
 
     Returns
     -------
@@ -228,6 +242,7 @@ def simulate_session(
             perceptual_encoder=perceptual_encoder,
             encode_throughput_mpixels_s=encode_throughput_mpixels_s,
             seed=seed,
+            recovery=recovery,
         )
     if ladder is not None:
         raise ValueError("ladder only applies when a controller is given")
@@ -250,6 +265,11 @@ def simulate_session(
         target_fps=target_fps,
         encode_time_s=2 * height * width / (encode_throughput_mpixels_s * 1e6),
     )
-    engine = StreamingEngine(link, pricing="backlog")
+    engine = StreamingEngine(link, pricing="backlog", recovery=recovery)
     outcome = engine.run([spec], seed=seed)[0]
-    return SessionReport(encoder=encoder, frames=outcome.frames, target_fps=target_fps)
+    return SessionReport(
+        encoder=encoder,
+        frames=outcome.frames,
+        target_fps=target_fps,
+        loss=outcome.loss,
+    )

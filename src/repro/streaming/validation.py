@@ -12,11 +12,16 @@ in by.
 
 from __future__ import annotations
 
+import math
+
 __all__ = [
     "PRICING_MODES",
     "validate_stream_timing",
     "validate_stream_window",
     "validate_pricing",
+    "validate_probability",
+    "validate_burst_length",
+    "validate_backoff",
 ]
 
 #: Transport pricing disciplines the engine understands: ``"backlog"``
@@ -120,3 +125,112 @@ def validate_pricing(pricing: str) -> str:
             f"unknown pricing {pricing!r}; expected one of {PRICING_MODES}"
         )
     return pricing
+
+
+def validate_probability(value: float, name: str) -> float:
+    """Reject a probability outside ``[0, 1]`` (or NaN/inf).
+
+    Loss traces and chaos configs are parameterized almost entirely by
+    probabilities, and a NaN smuggled through an arithmetic pipeline
+    turns every comparison silently false — so non-finite values are
+    rejected by name rather than allowed to propagate.
+
+    Parameters
+    ----------
+    value:
+        The candidate probability.
+    name:
+        Parameter name used in the error message.
+
+    Returns
+    -------
+    float
+        The validated value as a ``float``.
+
+    Raises
+    ------
+    ValueError
+        If ``value`` is NaN, infinite, negative, or greater than 1.
+    """
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(
+            f"{name} must be a finite probability in [0, 1], got {value!r}"
+        )
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(
+            f"{name} must be a probability in [0, 1], got {value!r}"
+        )
+    return value
+
+
+def validate_burst_length(value: float, name: str) -> float:
+    """Reject a non-positive or non-finite mean burst length.
+
+    A Gilbert–Elliott burst is parameterized by its mean length in
+    packets; zero would mean bursts that end before they begin and a
+    NaN would silently disable the bad state.
+
+    Parameters
+    ----------
+    value:
+        Mean burst length in packets; must be finite and >= 1.
+    name:
+        Parameter name used in the error message.
+
+    Returns
+    -------
+    float
+        The validated value as a ``float``.
+
+    Raises
+    ------
+    ValueError
+        If ``value`` is NaN, infinite, or below 1.
+    """
+    value = float(value)
+    if not math.isfinite(value) or value < 1.0:
+        raise ValueError(
+            f"{name} must be a finite mean burst length >= 1 packet, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def validate_backoff(base_s: float, factor: float, max_s: float) -> None:
+    """Reject an impossible exponential-backoff schedule.
+
+    Shared by the ARQ retransmission policy and the serving client's
+    reconnect loop, so both fail identically on the same bad schedule.
+
+    Parameters
+    ----------
+    base_s:
+        First-attempt delay in seconds; must be finite and >= 0.
+    factor:
+        Per-attempt multiplier; must be finite and >= 1 (a factor
+        below 1 would make later retries *faster*, defeating backoff).
+    max_s:
+        Delay cap in seconds; must be finite and >= ``base_s``.
+
+    Raises
+    ------
+    ValueError
+        On the first offending parameter, with the constraint named.
+    """
+    base_s = float(base_s)
+    factor = float(factor)
+    max_s = float(max_s)
+    if not math.isfinite(base_s) or base_s < 0.0:
+        raise ValueError(
+            f"backoff base_s must be finite and >= 0 seconds, got {base_s!r}"
+        )
+    if not math.isfinite(factor) or factor < 1.0:
+        raise ValueError(
+            f"backoff factor must be finite and >= 1, got {factor!r}"
+        )
+    if not math.isfinite(max_s) or max_s < base_s:
+        raise ValueError(
+            f"backoff max_s must be finite and >= base_s ({base_s}), "
+            f"got {max_s!r}"
+        )

@@ -8,10 +8,13 @@ deadlocking, and every cohort payload type surviving pickling.
 
 from __future__ import annotations
 
+import os
+import signal
+
 import numpy as np
 import pytest
 
-from repro.parallel import worker_pool
+from repro.parallel import BrokenPoolError, gather, pool_map, worker_pool
 from repro.streaming.cohort import CohortSpec, simulate_cohort_fleet
 from repro.streaming.link import WirelessLink
 from repro.streaming.sketch import QuantileSketch
@@ -29,6 +32,12 @@ def _square(value):
 
 def _boom(message):
     raise RuntimeError(message)
+
+
+def _die_hard(value):
+    """Simulate the OOM killer: the worker vanishes without cleanup."""
+    os.kill(os.getpid(), signal.SIGKILL)
+    return value  # pragma: no cover - unreachable
 
 
 def test_pool_wider_than_the_work():
@@ -59,6 +68,37 @@ def test_worker_exception_propagates_without_hanging():
         with pytest.raises(RuntimeError, match="cohort shard failed"):
             doomed.result(timeout=60)
         assert healthy.result(timeout=60) == 36
+
+
+def test_sigkilled_worker_fails_fast_with_broken_pool_error():
+    """A worker killed by the OS (OOM killer, container limit) must not
+    hang the pool: gather() fails fast with an actionable error, not a
+    bare BrokenProcessPool or a deadlock."""
+    with worker_pool(2) as pool:
+        futures = [pool.submit(_die_hard, n) for n in range(4)]
+        with pytest.raises(BrokenPoolError, match="worker process died"):
+            gather(futures)
+
+
+def test_sigkilled_worker_fails_fast_through_pool_map():
+    with worker_pool(2) as pool:
+        with pytest.raises(BrokenPoolError, match="worker process died"):
+            pool_map(pool, _die_hard, range(4))
+
+
+def test_gather_matches_submission_order():
+    with worker_pool(2) as pool:
+        futures = [pool.submit(_square, n) for n in range(5)]
+        assert gather(futures) == [0, 1, 4, 9, 16]
+
+
+def test_gather_propagates_ordinary_worker_exceptions():
+    """Only dead workers get translated; a plain raise stays itself."""
+    with worker_pool(2) as pool:
+        futures = [pool.submit(_boom, "shard failed")]
+        with pytest.raises(RuntimeError, match="shard failed") as excinfo:
+            gather(futures)
+        assert not isinstance(excinfo.value, BrokenPoolError)
 
 
 def test_cohort_payloads_survive_pickling():

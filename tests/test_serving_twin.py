@@ -18,11 +18,13 @@ than equality.
 """
 
 import asyncio
+import math
 
 import pytest
 
 from repro.scenes import get_scene
 from repro.serving import (
+    ChaosConfig,
     FrameBank,
     LoadgenConfig,
     ServeConfig,
@@ -30,7 +32,12 @@ from repro.serving import (
     StreamSetup,
     run_loadgen,
 )
-from repro.streaming import BandwidthTrace, WirelessLink, simulate_adaptive_session
+from repro.streaming import (
+    BandwidthTrace,
+    LossTrace,
+    WirelessLink,
+    simulate_adaptive_session,
+)
 
 #: Ladder sizes (bits, best rung first) for every frame.  On the
 #: default ladder (nocom, png, bd, variable-bd, perceptual) these give
@@ -153,6 +160,130 @@ class TestStallTwin:
         ratio = client.adaptive.stall_time_s / sim.adaptive.stall_time_s
         assert 0.7 < ratio < 2.0
 
+#: Lossy-sibling parameters: a Bernoulli frame-loss channel.  Packet
+#: size above the top rung makes every frame exactly one packet, so the
+#: simulator's per-packet loss probability IS the per-frame loss
+#: probability — the same distribution the server's chaos drop rate
+#: induces on the wire.
+LOSS_P = 0.12
+LOSSY_N_FRAMES = 150
+LOSSY_FPS = 40.0
+
+
+def _loss_run_band(n_frames: int, p: float) -> tuple[float, float]:
+    """A 4-sigma band on the number of loss *runs* (resync events).
+
+    For iid frame loss the expected run count is ~ n * p * (1 - p)
+    (each run starts at a lost frame whose predecessor survived), with
+    variance bounded by the Poisson approximation.
+    """
+    mean = n_frames * p * (1.0 - p)
+    sigma = math.sqrt(mean)
+    return max(1.0, mean - 4 * sigma), mean + 4 * sigma
+
+
+def _simulate_lossy():
+    trace = LossTrace.bernoulli(LOSS_P, packet_bits=max(SIZES) + 1)
+    link = WirelessLink(bandwidth_mbps=8.0, propagation_ms=2.0, loss=trace)
+    return simulate_adaptive_session(
+        get_scene("office"),
+        link,
+        controller="throughput",
+        n_frames=LOSSY_N_FRAMES,
+        target_fps=LOSSY_FPS,
+        rung_streams=[SIZES],
+        recovery="skip",
+        seed=3,
+    )
+
+
+async def _serve_lossy():
+    bank = FrameBank.from_rung_streams([SIZES])
+    server = StreamServer(
+        ServeConfig(
+            bank=bank,
+            port=0,
+            deadline_s=10.0,
+            queue_frames=64,
+            drain_grace_s=5.0,
+            chaos=ChaosConfig(drop_prob=LOSS_P, seed=17),
+        )
+    )
+    await server.start()
+    try:
+        loadgen = await run_loadgen(
+            LoadgenConfig(
+                port=server.port,
+                setup=StreamSetup(
+                    scene="synthetic",
+                    target_fps=LOSSY_FPS,
+                    n_frames=LOSSY_N_FRAMES,
+                    controller="throughput",
+                ),
+                n_clients=1,
+                timeout_s=30.0,
+            )
+        )
+    finally:
+        report = await server.stop()
+    return report, loadgen
+
+
+class TestLossyTwin:
+    """The lossy sibling: same frame-loss rate, sim and sockets.
+
+    The simulated stream erases frames through a Bernoulli
+    :class:`LossTrace` under the drop-and-skip policy; the served
+    stream drops the same fraction of frames through chaos injection.
+    Resync counts (loss runs the decoder must recover from) and
+    delivered quality must land in the same analytic band on both
+    paths — the statistical twin of the exact rung-sequence contract
+    above.
+    """
+
+    def test_resync_counts_land_in_the_shared_band(self):
+        sim = _simulate_lossy()
+        report, loadgen = asyncio.run(_serve_lossy())
+        assert loadgen.protocol_errors == 0
+        assert report.protocol_errors == 0
+        assert report.clean
+        assert loadgen.completed_clients == 1
+
+        low, high = _loss_run_band(LOSSY_N_FRAMES, LOSS_P)
+        sim_resyncs = sim.loss.resyncs
+        served_resyncs = loadgen.clients[0].resyncs
+        assert low <= sim_resyncs <= high, (sim_resyncs, low, high)
+        assert low <= served_resyncs <= high, (served_resyncs, low, high)
+
+    def test_delivered_quality_lands_in_the_shared_band(self):
+        sim = _simulate_lossy()
+        report, loadgen = asyncio.run(_serve_lossy())
+        # 4-sigma binomial band around the survival rate 1 - p.
+        sigma = math.sqrt(LOSS_P * (1 - LOSS_P) / LOSSY_N_FRAMES)
+        low = 1 - LOSS_P - 4 * sigma
+        high = 1 - LOSS_P + 4 * sigma
+        # Sim: displayed excludes the frames a real decoder would
+        # discard, so quality sits at or below the delivery rate.
+        delivered_sim = 1 - sim.loss.frames_lost / sim.loss.n_frames
+        assert low <= delivered_sim <= high
+        assert sim.loss.delivered_quality <= delivered_sim
+        # Served: frames that reached the client over frames offered.
+        delivered_served = loadgen.frames_received / LOSSY_N_FRAMES
+        assert low <= delivered_served <= high
+        # And the server's ledger agrees with the client's.
+        assert loadgen.frames_received + report.chaos_drops == LOSSY_N_FRAMES
+
+    def test_lossless_sibling_stays_exact(self):
+        """The statistical banding above never loosens the exact
+        contract: with loss off, the twin still matches rung-for-rung
+        (guarded here so the lossy plumbing cannot regress it)."""
+        sim = _simulate(FADE_TRACE)
+        client = _served_client(FADE_TRACE)
+        assert client.adaptive.rungs == sim.adaptive.rungs
+        assert sim.loss is None
+
+
+class TestMeasuredDrains:
     def test_measured_drains_track_the_emulated_channel(self):
         # The frame rows carry *measured* ACK spacing, not modeled
         # drains: before the fade a 100 kb frame clears 8 Mbps in
